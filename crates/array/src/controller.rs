@@ -1,0 +1,458 @@
+//! The array controller: decomposes logical requests over member disks,
+//! tracks sub-request completion (including two-phase RAID-5 writes),
+//! and aggregates response-time and power statistics.
+//!
+//! Like [`intradisk::DiskDrive`], the controller is a passive
+//! discrete-event component: the owner keeps an event calendar of
+//! per-disk completion times. [`ArrayController::submit`] returns the
+//! completions newly scheduled by an arrival;
+//! [`ArrayController::on_disk_complete`] consumes one completion event
+//! and returns any follow-on events plus any logical requests that
+//! finished.
+
+use std::collections::HashMap;
+
+use diskmodel::DiskParams;
+use intradisk::{DiskDrive, DriveConfig, IoRequest, PowerBreakdown};
+use simkit::{Histogram, SimTime, Summary};
+
+use crate::layout::{Layout, SubRequest};
+
+/// A finished logical request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalCompletion {
+    /// The caller's request id.
+    pub id: u64,
+    /// When the logical request arrived.
+    pub arrival: SimTime,
+    /// When its last sub-request completed.
+    pub completed: SimTime,
+}
+
+impl LogicalCompletion {
+    /// End-to-end response time.
+    pub fn response_time(&self) -> simkit::SimDuration {
+        self.completed - self.arrival
+    }
+}
+
+/// The outcome of consuming one per-disk completion event.
+#[derive(Debug, Clone, Default)]
+pub struct DiskCompletion {
+    /// Next completion time on the same disk, if it started more work
+    /// from its own queue.
+    pub next_on_disk: Option<SimTime>,
+    /// Completions newly scheduled on (possibly other) disks by
+    /// phase-two issues — `(disk index, completion time)`.
+    pub started: Vec<(usize, SimTime)>,
+    /// Logical requests that finished at this event.
+    pub finished: Vec<LogicalCompletion>,
+}
+
+/// Array-level statistics.
+#[derive(Debug, Clone)]
+pub struct ArrayMetrics {
+    /// Logical response times, milliseconds.
+    pub response_time_ms: Summary,
+    /// Logical response-time histogram over the paper's CDF edges.
+    pub response_hist: Histogram,
+    /// Completed logical requests.
+    pub completed: u64,
+}
+
+impl ArrayMetrics {
+    fn new() -> Self {
+        ArrayMetrics {
+            response_time_ms: Summary::new(),
+            response_hist: Histogram::new(Histogram::paper_response_time_edges()),
+            completed: 0,
+        }
+    }
+
+    fn record(&mut self, c: &LogicalCompletion) {
+        let rt = c.response_time().as_millis();
+        self.response_time_ms.record(rt);
+        self.response_hist.record(rt);
+        self.completed += 1;
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    id: u64,
+    arrival: SimTime,
+    remaining: usize,
+    phase_two: Vec<SubRequest>,
+}
+
+/// A storage array of identical member disks behind one controller.
+#[derive(Debug)]
+pub struct ArrayController {
+    disks: Vec<DiskDrive>,
+    layout: Layout,
+    per_disk: u64,
+    sub_owner: HashMap<u64, u64>,
+    outstanding: HashMap<u64, Outstanding>,
+    next_sub_id: u64,
+    next_key: u64,
+    metrics: ArrayMetrics,
+}
+
+impl ArrayController {
+    /// Builds an array of `disks` drives of model `params`, each with
+    /// the drive configuration `member` (conventional or intra-disk
+    /// parallel), laid out per `layout`.
+    ///
+    /// # Panics
+    /// Panics if `disks == 0` (or `< 2` for RAID-5).
+    pub fn new(
+        params: &DiskParams,
+        member: DriveConfig,
+        disks: usize,
+        layout: Layout,
+    ) -> Self {
+        assert!(disks > 0, "array needs at least one disk");
+        let members: Vec<DiskDrive> = (0..disks)
+            .map(|_| DiskDrive::new(params, member.clone()))
+            .collect();
+        let per_disk = members[0].capacity_sectors();
+        // Validate layout constraints early.
+        let _ = layout.logical_capacity(disks, per_disk);
+        ArrayController {
+            disks: members,
+            layout,
+            per_disk,
+            sub_owner: HashMap::new(),
+            outstanding: HashMap::new(),
+            next_sub_id: 0,
+            next_key: 0,
+            metrics: ArrayMetrics::new(),
+        }
+    }
+
+    /// Number of member disks.
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Logical volume capacity in sectors.
+    pub fn logical_capacity(&self) -> u64 {
+        self.layout.logical_capacity(self.disks.len(), self.per_disk)
+    }
+
+    /// Array-level statistics.
+    pub fn metrics(&self) -> &ArrayMetrics {
+        &self.metrics
+    }
+
+    /// Access to a member disk's statistics.
+    pub fn disk(&self, index: usize) -> &DiskDrive {
+        &self.disks[index]
+    }
+
+    /// Mutable access to a member disk (failure injection).
+    pub fn disk_mut(&mut self, index: usize) -> &mut DiskDrive {
+        &mut self.disks[index]
+    }
+
+    /// True if every member disk is idle and nothing is outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.outstanding.is_empty() && self.disks.iter().all(|d| d.is_idle())
+    }
+
+    /// Submits a logical request at `now`; returns `(disk, completion)`
+    /// pairs for every member disk that started new work.
+    pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Vec<(usize, SimTime)> {
+        let mapped = self.layout.map_request(self.disks.len(), self.per_disk, &req);
+        assert!(!mapped.is_empty(), "mapping produced no sub-requests");
+        let key = self.next_key;
+        self.next_key += 1;
+        self.outstanding.insert(
+            key,
+            Outstanding {
+                id: req.id,
+                arrival: req.arrival,
+                remaining: mapped.phase_one.len(),
+                phase_two: mapped.phase_two,
+            },
+        );
+        self.issue(key, &mapped.phase_one, now)
+    }
+
+    fn issue(&mut self, key: u64, subs: &[SubRequest], now: SimTime) -> Vec<(usize, SimTime)> {
+        let mut started = Vec::new();
+        for sub in subs {
+            let sub_id = self.next_sub_id;
+            self.next_sub_id += 1;
+            self.sub_owner.insert(sub_id, key);
+            let sreq = IoRequest::new(sub_id, now, sub.lba, sub.sectors, sub.kind);
+            if let Some(t) = self.disks[sub.disk].submit(sreq, now) {
+                started.push((sub.disk, t));
+            }
+        }
+        started
+    }
+
+    /// Consumes the completion event of member `disk` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if the disk has no request in service at `now` (event
+    /// mismatch) or the completed sub-request is unknown.
+    pub fn on_disk_complete(&mut self, disk: usize, now: SimTime) -> DiskCompletion {
+        let (done, next_on_disk) = self.disks[disk].complete(now);
+        let key = self
+            .sub_owner
+            .remove(&done.request.id)
+            .expect("completion for unknown sub-request");
+        let mut out = DiskCompletion {
+            next_on_disk,
+            ..DiskCompletion::default()
+        };
+        let finished_logical = {
+            let o = self
+                .outstanding
+                .get_mut(&key)
+                .expect("completion for retired logical request");
+            o.remaining -= 1;
+            if o.remaining > 0 {
+                None
+            } else if o.phase_two.is_empty() {
+                Some(key)
+            } else {
+                // Launch phase two; the logical request stays open.
+                let subs = std::mem::take(&mut o.phase_two);
+                o.remaining = subs.len();
+                out.started = self.issue(key, &subs, now);
+                None
+            }
+        };
+        if let Some(key) = finished_logical {
+            let o = self.outstanding.remove(&key).expect("present");
+            let c = LogicalCompletion {
+                id: o.id,
+                arrival: o.arrival,
+                completed: now,
+            };
+            self.metrics.record(&c);
+            out.finished.push(c);
+        }
+        out
+    }
+
+    /// Closes idle-time accounting on every member disk at `end`.
+    pub fn finalize(&mut self, end: SimTime) {
+        for d in &mut self.disks {
+            d.finalize(end);
+        }
+    }
+
+    /// Sum of the member disks' average-power breakdowns (the height of
+    /// one MD bar in Figure 3).
+    pub fn power_breakdown(&self) -> PowerBreakdown {
+        self.disks
+            .iter()
+            .map(|d| d.power_breakdown())
+            .fold(PowerBreakdown::default(), |acc, b| acc.add(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::presets;
+    use intradisk::IoKind;
+    use simkit::EventQueue;
+
+    fn controller(disks: usize, layout: Layout) -> ArrayController {
+        ArrayController::new(
+            &presets::array_drive_10k_19gb(),
+            DriveConfig::conventional(),
+            disks,
+            layout,
+        )
+    }
+
+    /// Drives an array to completion over a set of logical requests.
+    fn run(array: &mut ArrayController, reqs: Vec<IoRequest>) -> Vec<LogicalCompletion> {
+        let mut finished = Vec::new();
+        let mut events: EventQueue<usize> = EventQueue::new();
+        let mut arrivals = reqs;
+        arrivals.sort_by_key(|r| r.arrival);
+        let mut ai = 0;
+        loop {
+            let next_arrival = arrivals.get(ai).map(|r| r.arrival);
+            let next_event = events.peek_time();
+            let take_arrival = match (next_arrival, next_event) {
+                (None, None) => break,
+                (Some(a), Some(e)) => a <= e,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if take_arrival {
+                let r = arrivals[ai];
+                ai += 1;
+                for (disk, t) in array.submit(r, r.arrival) {
+                    events.push(t, disk);
+                }
+            } else {
+                let ev = events.pop().expect("event pending");
+                let out = array.on_disk_complete(ev.payload, ev.time);
+                if let Some(t) = out.next_on_disk {
+                    events.push(t, ev.payload);
+                }
+                for (disk, t) in out.started {
+                    events.push(t, disk);
+                }
+                finished.extend(out.finished);
+            }
+        }
+        finished
+    }
+
+    fn reads(n: u64, cap: u64, spacing_ms: f64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| {
+                IoRequest::new(
+                    i,
+                    SimTime::from_millis(i as f64 * spacing_ms),
+                    (i * 2_654_435_761) % cap,
+                    8,
+                    IoKind::Read,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_logical_requests_complete() {
+        let mut a = controller(4, Layout::striped_default());
+        let cap = a.logical_capacity();
+        let finished = run(&mut a, reads(200, cap, 1.0));
+        assert_eq!(finished.len(), 200);
+        assert_eq!(a.metrics().completed, 200);
+        assert!(a.is_idle());
+        let mut ids: Vec<u64> = finished.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_disks_cut_response_time_under_load() {
+        let mut means = Vec::new();
+        for n in [1usize, 4] {
+            let mut a = controller(n, Layout::striped_default());
+            let cap = a.logical_capacity();
+            let _ = run(&mut a, reads(400, cap, 1.0));
+            means.push(a.metrics().response_time_ms.mean());
+        }
+        assert!(
+            means[1] < means[0],
+            "4 disks {} !< 1 disk {}",
+            means[1],
+            means[0]
+        );
+    }
+
+    #[test]
+    fn concatenated_keeps_unsplit_requests_whole() {
+        let mut a = controller(4, Layout::Concatenated);
+        let cap = a.logical_capacity();
+        let finished = run(&mut a, reads(50, cap, 5.0));
+        assert_eq!(finished.len(), 50);
+    }
+
+    #[test]
+    fn raid5_write_takes_two_phases() {
+        let mut a = controller(4, Layout::raid5_default());
+        let w = IoRequest::new(0, SimTime::ZERO, 0, 8, IoKind::Write);
+        let finished = run(&mut a, vec![w]);
+        assert_eq!(finished.len(), 1);
+        // The RMW write must take at least two sequential media
+        // accesses' worth of time — far more than a bare write.
+        let mut b = controller(4, Layout::striped_default());
+        let w2 = IoRequest::new(0, SimTime::ZERO, 0, 8, IoKind::Write);
+        let f2 = run(&mut b, vec![w2]);
+        assert!(
+            finished[0].response_time() > f2[0].response_time(),
+            "RAID-5 RMW {} !> RAID-0 write {}",
+            finished[0].response_time(),
+            f2[0].response_time()
+        );
+    }
+
+    #[test]
+    fn raid5_reads_cost_like_raid0_reads() {
+        let mut a = controller(4, Layout::raid5_default());
+        let mut b = controller(4, Layout::striped_default());
+        let cap = a.logical_capacity();
+        let fa = run(&mut a, reads(100, cap, 5.0));
+        let fb = run(&mut b, reads(100, cap, 5.0));
+        let ma = fa.iter().map(|c| c.response_time().as_millis()).sum::<f64>() / 100.0;
+        let mb = fb.iter().map(|c| c.response_time().as_millis()).sum::<f64>() / 100.0;
+        assert!((ma - mb).abs() / mb < 0.35, "raid5 {ma} vs raid0 {mb}");
+    }
+
+    #[test]
+    fn raid5_writes_slower_than_reads() {
+        let mut a = controller(4, Layout::raid5_default());
+        let cap = a.logical_capacity();
+        let writes: Vec<IoRequest> = (0..100)
+            .map(|i| {
+                IoRequest::new(
+                    i,
+                    SimTime::from_millis(i as f64 * 20.0),
+                    (i * 2_654_435_761) % cap,
+                    8,
+                    IoKind::Write,
+                )
+            })
+            .collect();
+        let fw = run(&mut a, writes);
+        let mut b = controller(4, Layout::raid5_default());
+        let fr = run(&mut b, reads(100, cap, 20.0));
+        let mw = fw.iter().map(|c| c.response_time().as_millis()).sum::<f64>() / 100.0;
+        let mr = fr.iter().map(|c| c.response_time().as_millis()).sum::<f64>() / 100.0;
+        assert!(mw > 1.5 * mr, "RMW write {mw} not well above read {mr}");
+    }
+
+    #[test]
+    fn power_breakdown_scales_with_disks() {
+        let mut a1 = controller(1, Layout::striped_default());
+        let mut a4 = controller(4, Layout::striped_default());
+        let cap1 = a1.logical_capacity();
+        let cap4 = a4.logical_capacity();
+        let f1 = run(&mut a1, reads(100, cap1, 2.0));
+        let f4 = run(&mut a4, reads(100, cap4, 2.0));
+        let end1 = f1.iter().map(|c| c.completed).max().unwrap();
+        let end4 = f4.iter().map(|c| c.completed).max().unwrap();
+        a1.finalize(end1);
+        a4.finalize(end4);
+        let p1 = a1.power_breakdown().total_w();
+        let p4 = a4.power_breakdown().total_w();
+        assert!(p4 > 3.0 * p1, "4-disk power {p4} vs 1-disk {p1}");
+    }
+
+    #[test]
+    fn lightly_loaded_array_is_mostly_idle_power() {
+        // The Figure 3 observation: even I/O-intensive workloads leave
+        // MD arrays idle most of the time.
+        let mut a = controller(8, Layout::striped_default());
+        let cap = a.logical_capacity();
+        let f = run(&mut a, reads(200, cap, 4.0));
+        let end = f.iter().map(|c| c.completed).max().unwrap();
+        a.finalize(end);
+        let br = a.power_breakdown();
+        assert!(
+            br.idle_w > br.seek_w + br.rotational_w + br.transfer_w,
+            "idle {} should dominate {:?}",
+            br.idle_w,
+            br
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_panics() {
+        controller(0, Layout::striped_default());
+    }
+}

@@ -1,0 +1,345 @@
+//! A MAID baseline: Massive Array of Idle Disks (Colarelli & Grunwald
+//! \[6\], the related work of §5).
+//!
+//! MAID saves array power by spinning member disks all the way down
+//! after an idle timeout; a request to a sleeping disk pays a multi-
+//! second spin-up. It shines for archival access patterns (most disks
+//! cold most of the time) and hurts latency-sensitive ones — the
+//! opposite trade to intra-disk parallelism, which keeps one spindle
+//! hot and removes drives instead.
+//!
+//! [`replay`] simulates a concatenated array (MAID systems do not
+//! stripe — striping would wake every disk) with a per-disk spin state
+//! machine and explicit energy integration.
+
+use diskmodel::{DiskParams, PowerModel};
+use intradisk::service::{ArmState, LatencyScaling, Mechanics};
+use intradisk::IoRequest;
+use simkit::{SimDuration, SimTime, Summary};
+
+/// MAID spin-down policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaidConfig {
+    /// Idle time after which a member spins down.
+    pub spin_down_after: SimDuration,
+    /// Time to spin a member back up.
+    pub spin_up: SimDuration,
+    /// Power drawn by a sleeping member (electronics only), W.
+    pub standby_w: f64,
+    /// Multiplier on idle power while spinning up (the motor works
+    /// hardest then).
+    pub spin_up_power_factor: f64,
+}
+
+impl MaidConfig {
+    /// Typical archival-store settings: 30 s timeout, 6 s spin-up,
+    /// 1 W standby, 2× idle power during spin-up.
+    pub fn typical() -> Self {
+        MaidConfig {
+            spin_down_after: SimDuration::from_secs(30.0),
+            spin_up: SimDuration::from_secs(6.0),
+            standby_w: 1.0,
+            spin_up_power_factor: 2.0,
+        }
+    }
+}
+
+/// Results of a MAID replay.
+#[derive(Debug, Clone)]
+pub struct MaidResult {
+    /// Logical response times, ms.
+    pub response_time_ms: Summary,
+    /// Completed requests.
+    pub completed: u64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Run duration.
+    pub duration: SimDuration,
+    /// Fraction of aggregate disk-time spent spun down.
+    pub standby_fraction: f64,
+    /// Spin-up events paid.
+    pub spin_ups: u64,
+}
+
+impl MaidResult {
+    /// Average array power over the run, W.
+    pub fn average_power_w(&self) -> f64 {
+        if self.duration.is_zero() {
+            0.0
+        } else {
+            self.energy_j / self.duration.as_secs()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Spin {
+    /// Spinning, idle or serving; field is when it last went idle.
+    Active { idle_since: SimTime },
+    /// Spun down at the given time.
+    Standby { since: SimTime },
+}
+
+struct Member {
+    mech: Mechanics,
+    arm: ArmState,
+    spin: Spin,
+    /// Drive is busy (serving or spinning up) until this instant.
+    busy_until: SimTime,
+    energy_j: f64,
+    standby_time: SimDuration,
+}
+
+/// Replays a trace against a MAID array of `disks` members.
+///
+/// The logical space is the concatenation of the members; each request
+/// touches exactly one member (requests are clamped to one disk: MAID
+/// stores whole objects per disk).
+pub fn replay(
+    params: &DiskParams,
+    config: MaidConfig,
+    disks: usize,
+    requests: &[IoRequest],
+) -> MaidResult {
+    assert!(disks > 0, "need at least one disk");
+    let power = PowerModel::new(params);
+    let overhead = params.controller_overhead();
+    let mut members: Vec<Member> = (0..disks)
+        .map(|_| {
+            let mech = Mechanics::new(params);
+            let arm = mech.default_arms(1)[0];
+            Member {
+                mech,
+                arm,
+                spin: Spin::Active {
+                    idle_since: SimTime::ZERO,
+                },
+                busy_until: SimTime::ZERO,
+                energy_j: 0.0,
+                standby_time: SimDuration::ZERO,
+            }
+        })
+        .collect();
+    let per_disk = members[0].mech.geometry().total_sectors();
+    let capacity = per_disk * disks as u64;
+
+    let mut response = Summary::new();
+    let mut spin_ups = 0u64;
+    let mut end = SimTime::ZERO;
+
+    // Process arrivals in order; each member is advanced lazily. This
+    // is exact because members are independent under concatenation.
+    for req in requests {
+        let lba = req.lba % capacity;
+        let disk = (lba / per_disk) as usize;
+        let m = &mut members[disk];
+        let local_lba = lba % per_disk;
+        let now = req.arrival;
+
+        // Lazily account the member's state up to `now`.
+        let free_at = m.busy_until.max(now);
+        if let Spin::Active { idle_since } = m.spin {
+            // Did it spin down while idle before this arrival?
+            if m.busy_until <= now {
+                let idle_from = idle_since.max(m.busy_until);
+                if now.saturating_since(idle_from) >= config.spin_down_after {
+                    let down_at = idle_from + config.spin_down_after;
+                    m.energy_j += power.idle_w()
+                        * (down_at.saturating_since(idle_from)).as_secs();
+                    m.spin = Spin::Standby { since: down_at };
+                }
+            }
+        }
+
+        let start = match m.spin {
+            Spin::Standby { since } => {
+                // Pay standby until now, then spin up.
+                m.energy_j += config.standby_w * now.saturating_since(since).as_secs();
+                m.standby_time += now.saturating_since(since);
+                m.energy_j +=
+                    power.idle_w() * config.spin_up_power_factor * config.spin_up.as_secs();
+                spin_ups += 1;
+                m.spin = Spin::Active {
+                    idle_since: now + config.spin_up,
+                };
+                now + config.spin_up
+            }
+            Spin::Active { idle_since } => {
+                // Idle energy from last activity to service start.
+                let idle_from = idle_since.max(m.busy_until.min(now));
+                let s = free_at;
+                m.energy_j += power.idle_w() * s.saturating_since(idle_from).as_secs();
+                s
+            }
+        };
+
+        // Serve (single request at a time per member; arrivals are in
+        // order so the queue is only needed for back-to-back requests,
+        // which `busy_until` already serializes).
+        let plan = m.mech.plan(
+            std::slice::from_ref(&m.arm),
+            local_lba,
+            req.sectors,
+            start + overhead,
+            LatencyScaling::none(),
+        );
+        let finish = start + overhead + plan.total();
+        m.energy_j += power.idle_w() * (overhead + plan.rotational).as_secs();
+        m.energy_j += power.seek_w(1) * plan.seek.as_secs();
+        m.energy_j += power.transfer_w() * plan.transfer.as_secs();
+        m.arm.cylinder = plan.end_cylinder;
+        m.busy_until = finish;
+        m.spin = Spin::Active { idle_since: finish };
+        response.record(finish.saturating_since(req.arrival).as_millis());
+        end = end.max(finish);
+    }
+
+    // Close every member out to `end`.
+    let mut energy = 0.0;
+    let mut standby = SimDuration::ZERO;
+    for m in &mut members {
+        match m.spin {
+            Spin::Standby { since } => {
+                m.energy_j += config.standby_w * end.saturating_since(since).as_secs();
+                m.standby_time += end.saturating_since(since);
+            }
+            Spin::Active { idle_since } => {
+                let idle_from = idle_since.min(end);
+                let gap = end.saturating_since(idle_from);
+                if gap >= config.spin_down_after {
+                    let down_at = idle_from + config.spin_down_after;
+                    m.energy_j += power.idle_w() * config.spin_down_after.as_secs();
+                    m.energy_j += config.standby_w * end.saturating_since(down_at).as_secs();
+                    m.standby_time += end.saturating_since(down_at);
+                } else {
+                    m.energy_j += power.idle_w() * gap.as_secs();
+                }
+            }
+        }
+        energy += m.energy_j;
+        standby += m.standby_time;
+    }
+
+    let duration = end.saturating_since(SimTime::ZERO);
+    let aggregate = duration.as_millis() * disks as f64;
+    MaidResult {
+        completed: response.count() as u64,
+        response_time_ms: response,
+        energy_j: energy,
+        duration,
+        standby_fraction: if aggregate == 0.0 {
+            0.0
+        } else {
+            standby.as_millis() / aggregate
+        },
+        spin_ups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::presets;
+    use intradisk::IoKind;
+    use simkit::Rng64;
+
+    fn params() -> DiskParams {
+        presets::array_drive_10k_19gb()
+    }
+
+    /// Archival pattern: bursts to one disk, long silences.
+    fn archival(disks: u64, n: u64, seed: u64) -> Vec<IoRequest> {
+        let per_disk = Mechanics::new(&params()).geometry().total_sectors();
+        let mut rng = Rng64::new(seed);
+        let mut t = SimTime::ZERO;
+        let mut reqs = Vec::new();
+        for i in 0..n {
+            if i % 20 == 0 {
+                t += SimDuration::from_secs(60.0 + rng.f64() * 60.0);
+            } else {
+                t += SimDuration::from_millis(rng.f64() * 20.0);
+            }
+            let disk = rng.below(disks);
+            reqs.push(IoRequest::new(
+                i,
+                t,
+                disk * per_disk + rng.below(per_disk),
+                8,
+                IoKind::Read,
+            ));
+        }
+        reqs
+    }
+
+    #[test]
+    fn completes_everything() {
+        let reqs = archival(4, 400, 1);
+        let r = replay(&params(), MaidConfig::typical(), 4, &reqs);
+        assert_eq!(r.completed, 400);
+        assert!(r.average_power_w() > 0.0);
+    }
+
+    #[test]
+    fn archival_load_sleeps_most_of_the_time() {
+        let reqs = archival(8, 300, 2);
+        let r = replay(&params(), MaidConfig::typical(), 8, &reqs);
+        assert!(
+            r.standby_fraction > 0.5,
+            "standby fraction {}",
+            r.standby_fraction
+        );
+        assert!(r.spin_ups > 0);
+        // Far below the always-on array's idle floor.
+        let always_on = PowerModel::new(&params()).idle_w() * 8.0;
+        assert!(
+            r.average_power_w() < always_on * 0.5,
+            "{} vs {}",
+            r.average_power_w(),
+            always_on
+        );
+    }
+
+    #[test]
+    fn cold_hits_pay_the_spin_up() {
+        let reqs = archival(4, 200, 3);
+        let r = replay(&params(), MaidConfig::typical(), 4, &reqs);
+        // The response-time tail carries whole spin-ups (6 s).
+        let mut sorted = r.response_time_ms.clone();
+        assert!(
+            sorted.percentile(99.0) > 5_000.0,
+            "p99 {}",
+            sorted.percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn hot_load_never_spins_down() {
+        let per_disk = Mechanics::new(&params()).geometry().total_sectors();
+        let mut rng = Rng64::new(4);
+        let reqs: Vec<IoRequest> = (0..500u64)
+            .map(|i| {
+                IoRequest::new(
+                    i,
+                    SimTime::from_millis(i as f64 * 10.0),
+                    (i % 4) * per_disk + rng.below(per_disk),
+                    8,
+                    IoKind::Read,
+                )
+            })
+            .collect();
+        let r = replay(&params(), MaidConfig::typical(), 4, &reqs);
+        assert_eq!(r.spin_ups, 0);
+        assert!(r.standby_fraction < 1e-9);
+        // Mean stays in disk-latency territory.
+        assert!(r.response_time_ms.mean() < 50.0, "{}", r.response_time_ms.mean());
+    }
+
+    #[test]
+    fn deterministic() {
+        let reqs = archival(4, 200, 5);
+        let a = replay(&params(), MaidConfig::typical(), 4, &reqs);
+        let b = replay(&params(), MaidConfig::typical(), 4, &reqs);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.response_time_ms.mean(), b.response_time_ms.mean());
+    }
+}

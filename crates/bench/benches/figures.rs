@@ -1,0 +1,135 @@
+//! One benchmark per table/figure of the paper.
+//!
+//! Each benchmark runs the corresponding experiment pipeline at the
+//! shared reduced scale and prints the headline numbers once, so
+//! `cargo bench` both times the harness and regenerates every artifact.
+
+use bench::bench_scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{bottleneck, cost_analysis, limit_study, raid_eval, rpm_study, sa_eval, tech_table};
+use std::hint::black_box;
+use std::time::Duration;
+use workload::WorkloadKind;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = configure(c);
+    g.bench_function("table1_tech_comparison", |b| {
+        b.iter(|| black_box(tech_table::render()))
+    });
+    g.finish();
+    println!("{}", tech_table::render());
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = configure(c);
+    for kind in WorkloadKind::ALL {
+        g.bench_function(format!("fig2_fig3_limit_study_{}", kind.name()), |b| {
+            b.iter(|| black_box(limit_study::run_one(kind, scale)))
+        });
+    }
+    g.finish();
+    let w = limit_study::run_one(WorkloadKind::TpcC, scale);
+    println!(
+        "fig2/3 sample (TPC-C): MD mean {:.2} ms @ {:.1} W vs HC-SD mean {:.2} ms @ {:.1} W",
+        w.md.response_time_ms.mean(),
+        w.md.power.total_w(),
+        w.hcsd.metrics.response_time_ms.mean(),
+        w.hcsd.power.total_w()
+    );
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = configure(c);
+    g.bench_function("fig4_bottleneck_tpcc", |b| {
+        b.iter(|| black_box(bottleneck::run_one(WorkloadKind::TpcC, scale)))
+    });
+    g.finish();
+    let r = bottleneck::run_one(WorkloadKind::TpcC, scale);
+    println!(
+        "fig4 sample (TPC-C): seek-elimination speedup {:.2}x, rotational {:.2}x",
+        r.seek_elimination_speedup(),
+        r.rot_elimination_speedup()
+    );
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = configure(c);
+    g.bench_function("fig5_sa_eval_websearch", |b| {
+        b.iter(|| black_box(sa_eval::run_one(WorkloadKind::Websearch, scale)))
+    });
+    g.finish();
+    let r = sa_eval::run_one(WorkloadKind::Websearch, scale);
+    println!(
+        "fig5 sample (Websearch): SA(1..4) means {:?} ms vs MD {:.2} ms",
+        r.means_ms, r.md_mean_ms
+    );
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = configure(c);
+    g.bench_function("fig6_fig7_rpm_study_tpch", |b| {
+        b.iter(|| black_box(rpm_study::run_one(WorkloadKind::TpcH, scale)))
+    });
+    g.finish();
+    let r = rpm_study::run_one(WorkloadKind::TpcH, scale);
+    let be = r.break_even_points(1.25);
+    println!(
+        "fig6/7 sample (TPC-H): {} reduced-RPM designs break even with MD",
+        be.len()
+    );
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = configure(c);
+    g.bench_function("fig8_raid_sweep_4ms", |b| {
+        b.iter(|| black_box(raid_eval::run_sweep(4.0, scale)))
+    });
+    g.finish();
+    let sweep = raid_eval::run_sweep(1.0, scale);
+    let iso = sweep.iso_performance(1.15);
+    for p in iso {
+        println!(
+            "fig8 iso-performance @1ms: {} -> p90 {:.1} ms @ {:.1} W",
+            p.label(),
+            p.p90_ms,
+            p.power.total_w()
+        );
+    }
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let mut g = configure(c);
+    g.bench_function("table9a_fig9b_cost_model", |b| {
+        b.iter(|| {
+            black_box(cost_analysis::render_table9a());
+            black_box(cost_analysis::render_figure9b())
+        })
+    });
+    g.finish();
+    println!("{}", cost_analysis::render_figure9b());
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_fig7,
+    bench_fig8,
+    bench_cost
+);
+criterion_main!(figures);

@@ -1,0 +1,143 @@
+//! Microbenchmarks of the simulator's building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diskmodel::{presets, Geometry, RotationModel, SeekProfile};
+use intradisk::{DiskDrive, DriveConfig, IoKind, IoRequest, SegmentedCache};
+use simkit::{Rng64, Sample, SimTime, Zipf};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn bench_seek_curve(c: &mut Criterion) {
+    let params = presets::barracuda_es_750gb();
+    let profile = SeekProfile::new(&params);
+    let mut g = group(c, "substrates");
+    g.bench_function("seek_time_eval", |b| {
+        let mut d = 1u32;
+        b.iter(|| {
+            d = (d * 7 + 13) % 119_999;
+            black_box(profile.seek_time(d))
+        })
+    });
+    g.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let params = presets::barracuda_es_750gb();
+    let geom = Geometry::new(&params);
+    let total = geom.total_sectors();
+    let mut g = group(c, "substrates");
+    g.bench_function("geometry_locate", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % total;
+            black_box(geom.locate(lba))
+        })
+    });
+    g.bench_function("geometry_segments_64k", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 999_983) % (total - 128);
+            black_box(geom.segments(lba, 128))
+        })
+    });
+    g.finish();
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let params = presets::barracuda_es_750gb();
+    let rot = RotationModel::new(&params);
+    let mut g = group(c, "substrates");
+    g.bench_function("rotation_wait", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = SimTime::from_nanos(i * 1_234_567);
+            black_box(rot.wait_until_under(0.37, 0.91, t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = SegmentedCache::new(8);
+    let mut rng = Rng64::new(1);
+    for _ in 0..16 {
+        cache.install(rng.below(1_000_000), 8);
+    }
+    let mut g = group(c, "substrates");
+    g.bench_function("cache_lookup", |b| {
+        b.iter(|| black_box(cache.lookup(rng.below(1_000_000), 8)))
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000_000, 1.1);
+    let mut rng = Rng64::new(2);
+    let mut g = group(c, "substrates");
+    g.bench_function("zipf_sample_1m_items", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_drive_throughput(c: &mut Criterion) {
+    // End-to-end simulator throughput: requests serviced per wall-clock
+    // second on a saturated 4-actuator drive.
+    let params = presets::barracuda_es_750gb();
+    let mut g = group(c, "substrates");
+    g.bench_function("drive_sim_1000_requests", |b| {
+        b.iter(|| {
+            let mut drive = DiskDrive::new(&params, DriveConfig::sa(4));
+            let cap = drive.capacity_sectors();
+            let mut completion = None;
+            let mut i = 0u64;
+            loop {
+                let arrival = (i < 1000).then(|| SimTime::from_millis(i as f64 * 0.5));
+                let take = match (arrival, completion) {
+                    (None, None) => break,
+                    (Some(a), Some(c)) => a <= c,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                };
+                if take {
+                    let r = IoRequest::new(
+                        i,
+                        arrival.expect("arrival"),
+                        (i * 48_271 * 65_537) % cap,
+                        8,
+                        IoKind::Read,
+                    );
+                    i += 1;
+                    if let Some(f) = drive.submit(r, r.arrival) {
+                        completion = Some(f);
+                    }
+                } else {
+                    let (_, next) = drive.complete(completion.expect("pending"));
+                    completion = next;
+                }
+            }
+            black_box(drive.metrics().completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_seek_curve,
+    bench_geometry,
+    bench_rotation,
+    bench_cache,
+    bench_zipf,
+    bench_drive_throughput
+);
+criterion_main!(substrates);

@@ -1,0 +1,22 @@
+//! `bench` — Criterion benchmark harness for the reproduction.
+//!
+//! Two benchmark suites live under `benches/`:
+//!
+//! * `figures` — regenerates every table and figure of the paper at a
+//!   reduced, deterministic scale (one benchmark per artifact, so
+//!   `cargo bench` doubles as an end-to-end regression run over the
+//!   whole evaluation).
+//! * `substrates` — microbenchmarks of the building blocks: seek-curve
+//!   evaluation, LBA mapping, rotational-wait computation, cache
+//!   lookups, SPTF dispatch, and raw simulator throughput.
+//!
+//! This library crate only exposes the shared scale used by both
+//! suites.
+
+use experiments::configs::Scale;
+
+/// The deterministic scale benches run at (small enough that a full
+/// `cargo bench` finishes in minutes).
+pub fn bench_scale() -> Scale {
+    Scale::bench().with_requests(6_000)
+}

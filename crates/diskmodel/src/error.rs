@@ -1,0 +1,46 @@
+//! Error type for drive-parameter validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid drive parameter set.
+///
+/// Returned by [`DiskParamsBuilder::build`](crate::DiskParamsBuilder::build)
+/// when a physically meaningless configuration is requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskModelError {
+    message: String,
+}
+
+impl DiskModelError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        DiskModelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DiskModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid disk parameters: {}", self.message)
+    }
+}
+
+impl Error for DiskModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = DiskModelError::new("rpm must be positive");
+        assert!(e.to_string().contains("rpm must be positive"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DiskModelError>();
+    }
+}

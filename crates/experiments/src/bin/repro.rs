@@ -1,0 +1,216 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--requests N] [--seed S]
+//!
+//! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
+//!             fig8 | table9 | fig9 | thermal | drpm | all
+//!             (default: all; `all` includes the extension studies)
+//! ```
+
+use std::env;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use experiments::configs::Scale;
+use experiments::{
+    bottleneck, cost_analysis, extensions, limit_study, raid_eval, rpm_study, sa_eval, tech_table,
+};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    spc_file: Option<String>,
+    actuators: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::report();
+    let mut spc_file = None;
+    let mut actuators = 4u32;
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--actuators" => {
+                actuators = it
+                    .next()
+                    .ok_or("--actuators needs a value")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --actuators: {e}"))?;
+            }
+            "--requests" => {
+                let v = it
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                scale = scale.with_requests(v);
+            }
+            "--seed" => {
+                scale.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--requests N] [--seed S]\n       repro spc <trace-file> [--actuators N] [--requests N]"
+                        .to_string(),
+                );
+            }
+            other if !other.starts_with('-') => {
+                if experiment == "spc" && spc_file.is_none() {
+                    spc_file = Some(other.to_string());
+                } else {
+                    experiment = other.to_string();
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        experiment,
+        scale,
+        spc_file,
+        actuators,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = args.scale;
+
+    // Replay a real SPC-format trace (e.g. the UMass Financial or
+    // Websearch traces) against conventional and intra-disk parallel
+    // drives.
+    if args.experiment == "spc" {
+        let Some(path) = args.spc_file else {
+            eprintln!("spc mode needs a trace file: repro spc <file>");
+            return ExitCode::FAILURE;
+        };
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match workload::spc::read_trace(
+            BufReader::new(file),
+            &path,
+            1,
+            Some(scale.requests),
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("replaying {} ({} requests, stats {:?})", path, trace.len(), trace.stats());
+        for n in [1u32, args.actuators] {
+            let r = experiments::runner::run_drive(
+                &experiments::configs::hcsd_params(),
+                intradisk::DriveConfig::sa(n),
+                &trace,
+            );
+            println!(
+                "  SA({n}): mean {:.2} ms | p90-bucketed CDF@20ms {:.1}% | power {:.2} W",
+                r.metrics.response_time_ms.mean(),
+                r.metrics.response_hist.cdf().at(20.0) * 100.0,
+                r.power.total_w()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let want = |name: &str| args.experiment == name || args.experiment == "all";
+
+    println!(
+        "# Intra-Disk Parallelism reproduction — {} requests/run, seed {}\n",
+        scale.requests, scale.seed
+    );
+
+    if want("table1") {
+        println!("{}", tech_table::render());
+    }
+    if want("fig2") || want("fig3") {
+        eprintln!("[limit study: 4 workloads x (MD + HC-SD)]");
+        let study = limit_study::run(scale);
+        if want("fig2") {
+            println!("{}", study.render_figure2());
+        }
+        if want("fig3") {
+            println!("{}", study.render_figure3());
+        }
+    }
+    if want("fig4") {
+        eprintln!("[bottleneck analysis: 4 workloads x 8 configurations]");
+        let study = bottleneck::run(scale);
+        println!("{}", study.render());
+    }
+    if want("fig5") || want("fig6") {
+        eprintln!("[HC-SD-SA(n) evaluation: 4 workloads x (MD + 4 designs)]");
+        let study = sa_eval::run(scale);
+        if want("fig5") {
+            println!("{}", study.render_cdfs());
+            println!("{}", study.render_pdfs());
+        }
+        if want("fig6") {
+            println!("{}", study.render_power());
+        }
+    }
+    if want("fig6") || want("fig7") {
+        eprintln!("[reduced-RPM study: 4 workloads x (MD + HC-SD + 8 design points)]");
+        let study = rpm_study::run(scale);
+        if want("fig6") {
+            println!("{}", study.render_figure6());
+        }
+        if want("fig7") {
+            println!("{}", study.render_figure7());
+        }
+    }
+    if want("fig8") {
+        eprintln!("[RAID study: 3 loads x 3 member types x 5 disk counts]");
+        let study = raid_eval::run(scale);
+        println!("{}", study.render_performance());
+        println!("{}", study.render_power());
+    }
+    if want("table9") {
+        println!("{}", cost_analysis::render_table9a());
+    }
+    if want("fig9") {
+        println!("{}", cost_analysis::render_figure9b());
+    }
+    if want("thermal") {
+        println!("{}", extensions::render_thermal());
+    }
+    if want("drpm") {
+        eprintln!("[DRPM comparison: 4 workloads x 3 designs]");
+        println!("{}", extensions::render_drpm(scale));
+    }
+    if want("validate") {
+        println!("{}", experiments::validation::render());
+    }
+    if want("robust") {
+        eprintln!("[seed robustness: 4 workloads x 5 seeds x (MD + HC-SD)]");
+        println!(
+            "{}",
+            experiments::replication::render(scale, &[42, 1, 2, 3, 4])
+        );
+    }
+    if want("dash") {
+        eprintln!("[DASH dimension comparison: 4 workloads x 4 designs]");
+        println!("{}", extensions::render_dash(scale));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,182 @@
+//! The bottleneck analysis of §7.1 (Figure 4): isolate the contribution
+//! of seek time and rotational latency to HC-SD's performance gap by
+//! artificially scaling each to ½, ¼, and 0 of its actual value.
+//!
+//! The paper's conclusion — reproduced by this module and asserted in
+//! `tests/shapes.rs` — is that **rotational latency is the primary
+//! bottleneck**: scaling rotational latency moves the CDFs far more
+//! than scaling seek time, and `(1/4)R` is enough to surpass the MD
+//! array for Websearch, TPC-C, and TPC-H.
+
+use intradisk::{DriveConfig, LatencyScaling};
+use simkit::Cdf;
+use workload::WorkloadKind;
+
+use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::report;
+use crate::runner::{run_array, run_drive};
+
+/// The scaling factors evaluated per dimension (1, ½, ¼, 0).
+pub const FACTORS: [f64; 4] = [1.0, 0.5, 0.25, 0.0];
+
+/// Figure 4 results for one workload.
+#[derive(Debug, Clone)]
+pub struct BottleneckResult {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// The MD reference CDF.
+    pub md: Cdf,
+    /// MD mean response time, ms.
+    pub md_mean_ms: f64,
+    /// HC-SD CDFs with seek scaled by [`FACTORS`] (index-aligned;
+    /// index 0 is the unscaled HC-SD baseline).
+    pub seek_scaled: Vec<Cdf>,
+    /// HC-SD CDFs with rotational latency scaled by [`FACTORS`].
+    pub rot_scaled: Vec<Cdf>,
+    /// Mean response times for the seek-scaled runs, milliseconds.
+    pub seek_means: Vec<f64>,
+    /// Mean response times for the rotation-scaled runs, milliseconds.
+    pub rot_means: Vec<f64>,
+}
+
+/// The full Figure 4 study.
+#[derive(Debug, Clone)]
+pub struct BottleneckStudy {
+    /// One result per workload.
+    pub workloads: Vec<BottleneckResult>,
+}
+
+/// Runs the bottleneck isolation for one workload.
+pub fn run_one(kind: WorkloadKind, scale: Scale) -> BottleneckResult {
+    let trace = trace_for(kind, scale);
+    let cfg = md_config(kind);
+    let md = run_array(
+        &cfg.drive,
+        DriveConfig::conventional(),
+        cfg.disks,
+        cfg.layout,
+        &trace,
+    );
+    let mut seek_scaled = Vec::new();
+    let mut rot_scaled = Vec::new();
+    let mut seek_means = Vec::new();
+    let mut rot_means = Vec::new();
+    for &f in &FACTORS {
+        let s = run_drive(
+            &hcsd_params(),
+            DriveConfig::conventional().with_scaling(LatencyScaling::seek_only(f)),
+            &trace,
+        );
+        seek_means.push(s.metrics.response_time_ms.mean());
+        seek_scaled.push(s.metrics.response_hist.cdf());
+        let r = run_drive(
+            &hcsd_params(),
+            DriveConfig::conventional().with_scaling(LatencyScaling::rotational_only(f)),
+            &trace,
+        );
+        rot_means.push(r.metrics.response_time_ms.mean());
+        rot_scaled.push(r.metrics.response_hist.cdf());
+    }
+    BottleneckResult {
+        kind,
+        md_mean_ms: md.response_time_ms.mean(),
+        md: md.response_hist.cdf(),
+        seek_scaled,
+        rot_scaled,
+        seek_means,
+        rot_means,
+    }
+}
+
+/// Runs the study for all four workloads.
+pub fn run(scale: Scale) -> BottleneckStudy {
+    BottleneckStudy {
+        workloads: WorkloadKind::ALL
+            .iter()
+            .map(|&k| run_one(k, scale))
+            .collect(),
+    }
+}
+
+impl BottleneckResult {
+    /// How much eliminating seeks entirely improves the mean response
+    /// time (ratio ≥ 1).
+    pub fn seek_elimination_speedup(&self) -> f64 {
+        self.seek_means[0] / self.seek_means[3].max(1e-9)
+    }
+
+    /// How much eliminating rotational latency entirely improves the
+    /// mean response time (ratio ≥ 1).
+    pub fn rot_elimination_speedup(&self) -> f64 {
+        self.rot_means[0] / self.rot_means[3].max(1e-9)
+    }
+}
+
+impl BottleneckStudy {
+    /// Renders Figure 4 (both rows: seek impact, rotational impact).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 4: Bottleneck analysis of HC-SD performance\n\n");
+        for w in &self.workloads {
+            let labels = ["HC-SD", "(1/2)S", "(1/4)S", "S=0", "MD"];
+            let cdfs: Vec<&Cdf> = w
+                .seek_scaled
+                .iter()
+                .chain(std::iter::once(&w.md))
+                .collect();
+            out.push_str(&report::cdf_series(
+                &format!("{} — impact of seek time", w.kind.name()),
+                &labels,
+                &cdfs,
+            ));
+            let labels = ["HC-SD", "(1/2)R", "(1/4)R", "R=0", "MD"];
+            let cdfs: Vec<&Cdf> = w
+                .rot_scaled
+                .iter()
+                .chain(std::iter::once(&w.md))
+                .collect();
+            out.push_str(&report::cdf_series(
+                &format!("{} — impact of rotational latency", w.kind.name()),
+                &labels,
+                &cdfs,
+            ));
+            out.push_str(&format!(
+                "  speedup from eliminating: seeks {:.2}x, rotational latency {:.2}x\n\n",
+                w.seek_elimination_speedup(),
+                w.rot_elimination_speedup()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_monotone_for_tpcc() {
+        let r = run_one(WorkloadKind::TpcC, Scale::quick().with_requests(8_000));
+        // More aggressive scaling never hurts the mean (small-sample
+        // noise tolerance).
+        for m in [&r.seek_means, &r.rot_means] {
+            for w in m.windows(2) {
+                assert!(w[1] <= w[0] * 1.05, "scaling made things worse: {m:?}");
+            }
+        }
+        // Rotational latency is the primary bottleneck (§7.1).
+        assert!(r.rot_elimination_speedup() > r.seek_elimination_speedup());
+    }
+
+    #[test]
+    fn render_contains_all_series() {
+        let scale = Scale::quick().with_requests(1_500);
+        let study = BottleneckStudy {
+            workloads: vec![run_one(WorkloadKind::TpcH, scale)],
+        };
+        let s = study.render();
+        for label in ["(1/2)S", "(1/4)S", "S=0", "(1/2)R", "(1/4)R", "R=0", "MD"] {
+            assert!(s.contains(label), "missing {label}");
+        }
+    }
+}

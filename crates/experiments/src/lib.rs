@@ -1,0 +1,44 @@
+//! `experiments` — the harness that regenerates every table and figure
+//! of *Intra-Disk Parallelism: An Idea Whose Time Has Come* (ISCA 2008).
+//!
+//! Each module reproduces one artifact of the paper's evaluation:
+//!
+//! | module | artifact |
+//! |--------|----------|
+//! | [`tech_table`] | Table 1 — disk-drive technologies over time |
+//! | [`configs`] | Table 2 — workload/storage configurations |
+//! | [`limit_study`] | Figures 2 & 3 — MD vs HC-SD performance and power |
+//! | [`bottleneck`] | Figure 4 — seek/rotational-latency bottleneck isolation |
+//! | [`sa_eval`] | Figure 5 — HC-SD-SA(n) response CDFs and rotational PDFs |
+//! | [`rpm_study`] | Figures 6 & 7 — reduced-RPM power and performance |
+//! | [`raid_eval`] | Figure 8 — arrays of intra-disk parallel drives |
+//! | [`cost_analysis`] | Table 9a & Figure 9b — cost-benefit analysis |
+//! | [`extensions`] | beyond the paper: thermal feasibility, DRPM comparison, DASH dimensions |
+//! | [`validation`] | simulator cross-checks against closed-form results |
+//! | [`replication`] | seed-robustness of the headline conclusions |
+//!
+//! [`runner`] holds the shared trace-driven event loops; [`report`]
+//! renders results as the ASCII equivalents of the paper's plots. The
+//! `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin repro -- all
+//! cargo run --release -p experiments --bin repro -- fig5 --requests 200000
+//! ```
+
+pub mod bottleneck;
+pub mod configs;
+pub mod cost_analysis;
+pub mod extensions;
+pub mod limit_study;
+pub mod raid_eval;
+pub mod replication;
+pub mod report;
+pub mod rpm_study;
+pub mod runner;
+pub mod sa_eval;
+pub mod tech_table;
+pub mod validation;
+
+pub use configs::Scale;
+pub use runner::{run_array, run_drive, ArrayRunResult, DriveRunResult};

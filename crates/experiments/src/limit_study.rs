@@ -1,0 +1,134 @@
+//! The limit study of §7.1 (Figures 2 and 3): replace each workload's
+//! performance-tuned multi-disk array (MD) with a single high-capacity
+//! drive (HC-SD) and measure the performance gap and the power gap.
+
+use intradisk::DriveConfig;
+use simkit::Cdf;
+use workload::WorkloadKind;
+
+use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::report;
+use crate::runner::{run_array, run_drive, ArrayRunResult, DriveRunResult};
+
+/// MD vs HC-SD results for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadComparison {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// The Table 2 array replay.
+    pub md: ArrayRunResult,
+    /// The single-drive replay.
+    pub hcsd: DriveRunResult,
+}
+
+impl WorkloadComparison {
+    /// MD's response-time CDF.
+    pub fn md_cdf(&self) -> Cdf {
+        self.md.response_hist.cdf()
+    }
+
+    /// HC-SD's response-time CDF.
+    pub fn hcsd_cdf(&self) -> Cdf {
+        self.hcsd.metrics.response_hist.cdf()
+    }
+}
+
+/// The full limit study.
+#[derive(Debug, Clone)]
+pub struct LimitStudy {
+    /// One comparison per workload, in the paper's order.
+    pub workloads: Vec<WorkloadComparison>,
+}
+
+/// Runs MD and HC-SD for all four workloads.
+pub fn run(scale: Scale) -> LimitStudy {
+    let workloads = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| run_one(kind, scale))
+        .collect();
+    LimitStudy { workloads }
+}
+
+/// Runs the comparison for one workload.
+pub fn run_one(kind: WorkloadKind, scale: Scale) -> WorkloadComparison {
+    let trace = trace_for(kind, scale);
+    let md_cfg = md_config(kind);
+    let md = run_array(
+        &md_cfg.drive,
+        DriveConfig::conventional(),
+        md_cfg.disks,
+        md_cfg.layout,
+        &trace,
+    );
+    let hcsd = run_drive(&hcsd_params(), DriveConfig::conventional(), &trace);
+    WorkloadComparison { kind, md, hcsd }
+}
+
+impl LimitStudy {
+    /// Renders Figure 2: per-workload response-time CDFs, MD vs HC-SD.
+    pub fn render_figure2(&self) -> String {
+        let mut out = String::from("Figure 2: The performance gap between MD and HC-SD\n\n");
+        for w in &self.workloads {
+            let md = w.md_cdf();
+            let hcsd = w.hcsd_cdf();
+            out.push_str(&report::cdf_series(
+                w.kind.name(),
+                &["MD", "HC-SD"],
+                &[&md, &hcsd],
+            ));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders Figure 3: per-workload average power, broken into the
+    /// four operating modes, MD vs HC-SD.
+    pub fn render_figure3(&self) -> String {
+        let mut out = String::from("Figure 3: The power gap between MD and HC-SD\n\n");
+        for w in &self.workloads {
+            out.push_str(&report::power_bars(
+                w.kind.name(),
+                &["MD", "HC-SD"],
+                &[w.md.power, w.hcsd.power],
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full-study shape assertions live in tests/shapes.rs; here we only
+    // smoke-test one comparison end to end at tiny scale.
+    #[test]
+    fn tpch_light_load_keeps_hcsd_close() {
+        let scale = Scale::quick().with_requests(6_000);
+        let w = run_one(WorkloadKind::TpcH, scale);
+        assert_eq!(w.md.completed, 6_000);
+        assert_eq!(w.hcsd.metrics.completed, 6_000);
+        // §7.1: TPC-H "experiences very little performance loss".
+        let md_mean = w.md.response_time_ms.mean();
+        let hcsd_mean = w.hcsd.metrics.response_time_ms.mean();
+        assert!(
+            hcsd_mean < md_mean * 4.0,
+            "TPC-H HC-SD mean {hcsd_mean} too far above MD {md_mean}"
+        );
+        // And an order-of-magnitude power reduction.
+        assert!(w.md.power.total_w() > 5.0 * w.hcsd.power.total_w());
+    }
+
+    #[test]
+    fn renders_mention_all_workloads() {
+        let scale = Scale::quick().with_requests(1_500);
+        let study = run(scale);
+        let f2 = study.render_figure2();
+        let f3 = study.render_figure3();
+        for kind in WorkloadKind::ALL {
+            assert!(f2.contains(kind.name()), "fig2 missing {}", kind.name());
+            assert!(f3.contains(kind.name()), "fig3 missing {}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Seed-robustness replication.
+//!
+//! The paper replays each trace once; our stand-in traces are sampled
+//! from calibrated generators, so every qualitative conclusion should
+//! hold for *any* seed, not just the default. This module reruns an
+//! experiment over several seeds and reports mean ± 95% confidence
+//! intervals, and [`limit_ratio_robustness`] checks the central Figure 2
+//! relationship — the HC-SD/MD mean-response ratio — across seeds.
+
+use workload::WorkloadKind;
+
+use crate::configs::Scale;
+use crate::limit_study;
+use crate::report;
+
+/// Mean and spread of a replicated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replicated {
+    /// Per-seed observations.
+    pub samples: Vec<f64>,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval (normal
+    /// approximation).
+    pub half_ci95: f64,
+}
+
+/// Runs `f` once per seed and summarizes the results.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn replicate(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> Replicated {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let samples: Vec<f64> = seeds.iter().map(|&s| f(s)).collect();
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() < 2 {
+        0.0
+    } else {
+        samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+    };
+    let stddev = var.sqrt();
+    Replicated {
+        half_ci95: 1.96 * stddev / n.sqrt(),
+        samples,
+        mean,
+        stddev,
+    }
+}
+
+/// The HC-SD/MD mean-response ratio for one workload, replicated over
+/// seeds. A ratio well above 1 is Figure 2's "severe performance
+/// loss"; near 1 is TPC-H's "very little loss".
+pub fn limit_ratio_robustness(kind: WorkloadKind, scale: Scale, seeds: &[u64]) -> Replicated {
+    replicate(seeds, |seed| {
+        let mut s = scale;
+        s.seed = seed;
+        let w = limit_study::run_one(kind, s);
+        w.hcsd.metrics.response_time_ms.mean() / w.md.response_time_ms.mean()
+    })
+}
+
+/// Renders the robustness table over the default seed set.
+pub fn render(scale: Scale, seeds: &[u64]) -> String {
+    let headers = ["workload", "HC-SD/MD ratio", "stddev", "95% CI", "seeds"];
+    let rows: Vec<Vec<String>> = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| {
+            let r = limit_ratio_robustness(kind, scale, seeds);
+            vec![
+                kind.name().to_string(),
+                format!("{:.2}", r.mean),
+                format!("{:.2}", r.stddev),
+                format!("±{:.2}", r.half_ci95),
+                seeds.len().to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Seed robustness of the limit study (Figure 2's central ratio)\n{}",
+        report::table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_summary_math() {
+        let r = replicate(&[1, 2, 3, 4], |s| s as f64);
+        assert_eq!(r.samples, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.mean, 2.5);
+        assert!((r.stddev - 1.2909944).abs() < 1e-6);
+        assert!(r.half_ci95 > 0.0);
+    }
+
+    #[test]
+    fn single_seed_has_zero_spread() {
+        let r = replicate(&[7], |_| 42.0);
+        assert_eq!(r.mean, 42.0);
+        assert_eq!(r.stddev, 0.0);
+        assert_eq!(r.half_ci95, 0.0);
+    }
+
+    #[test]
+    fn figure2_conclusions_hold_across_seeds() {
+        let scale = Scale::quick().with_requests(5_000);
+        let seeds = [11, 22, 33];
+        // TPC-C degrades on every seed...
+        let c = limit_ratio_robustness(WorkloadKind::TpcC, scale, &seeds);
+        assert!(
+            c.samples.iter().all(|&r| r > 1.5),
+            "TPC-C ratios {:?}",
+            c.samples
+        );
+        // ...and TPC-H never degrades much, on every seed.
+        let h = limit_ratio_robustness(WorkloadKind::TpcH, scale, &seeds);
+        assert!(
+            h.samples.iter().all(|&r| r < 1.6),
+            "TPC-H ratios {:?}",
+            h.samples
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        replicate(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! ASCII rendering of results — the textual equivalents of the paper's
+//! plots (CDF grids, PDF grids, stacked power bars, tables).
+
+use intradisk::PowerBreakdown;
+use simkit::{Cdf, Pdf};
+
+/// Renders an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:>w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders a family of CDFs sampled at shared edges, one column per
+/// configuration — the textual form of one panel of Figures 2/4/5/7.
+pub fn cdf_series(title: &str, labels: &[&str], cdfs: &[&Cdf]) -> String {
+    assert_eq!(labels.len(), cdfs.len(), "label/series mismatch");
+    assert!(!cdfs.is_empty(), "no series");
+    let edges = cdfs[0].edges();
+    let mut headers = vec!["RT <= (ms)"];
+    headers.extend_from_slice(labels);
+    let mut rows = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let mut row = vec![format!("{e:.0}")];
+        for c in cdfs {
+            assert_eq!(c.edges(), edges, "edge mismatch across series");
+            row.push(format!("{:.1}%", c.fraction_at()[i] * 100.0));
+        }
+        rows.push(row);
+    }
+    format!("{title}\n{}", table(&headers, &rows))
+}
+
+/// Renders a family of PDFs — one panel of Figure 5's second row.
+pub fn pdf_series(title: &str, labels: &[&str], pdfs: &[&Pdf]) -> String {
+    assert_eq!(labels.len(), pdfs.len(), "label/series mismatch");
+    assert!(!pdfs.is_empty(), "no series");
+    let edges = pdfs[0].edges();
+    let mut headers = vec!["rot-lat bucket (ms)"];
+    headers.extend_from_slice(labels);
+    let mut rows = Vec::new();
+    let mut lo = 0.0;
+    for (i, e) in edges.iter().enumerate() {
+        let mut row = vec![format!("({lo:.0}, {e:.0}]")];
+        for p in pdfs {
+            row.push(format!("{:.1}%", p.mass()[i] * 100.0));
+        }
+        rows.push(row);
+        lo = *e;
+    }
+    let mut row = vec![format!("({lo:.0}, inf)")];
+    for p in pdfs {
+        row.push(format!("{:.1}%", p.mass()[edges.len()] * 100.0));
+    }
+    rows.push(row);
+    format!("{title}\n{}", table(&headers, &rows))
+}
+
+/// Renders stacked power bars (Figures 3/6/8-right) as a table.
+pub fn power_bars(title: &str, labels: &[&str], bars: &[PowerBreakdown]) -> String {
+    assert_eq!(labels.len(), bars.len(), "label/bar mismatch");
+    let headers = ["config", "idle W", "seek W", "rot W", "xfer W", "total W"];
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(bars)
+        .map(|(l, b)| {
+            vec![
+                l.to_string(),
+                format!("{:.2}", b.idle_w),
+                format!("{:.2}", b.seek_w),
+                format!("{:.2}", b.rotational_w),
+                format!("{:.2}", b.transfer_w),
+                format!("{:.2}", b.total_w()),
+            ]
+        })
+        .collect();
+    format!("{title}\n{}", table(&headers, &rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Histogram;
+
+    #[test]
+    fn table_aligns() {
+        let s = table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn cdf_series_renders_all_edges() {
+        let mut h = Histogram::new(Histogram::paper_response_time_edges());
+        for i in 0..100 {
+            h.record(i as f64 * 2.5);
+        }
+        let cdf = h.cdf();
+        let s = cdf_series("panel", &["A", "B"], &[&cdf, &cdf]);
+        assert!(s.contains("panel"));
+        assert!(s.contains("200"));
+        assert_eq!(s.lines().count(), 1 + 2 + 9);
+    }
+
+    #[test]
+    fn pdf_series_includes_overflow_row() {
+        let mut h = Histogram::new(Histogram::paper_rotational_latency_edges());
+        h.record(0.5);
+        h.record(100.0);
+        let pdf = h.pdf();
+        let s = pdf_series("rot", &["X"], &[&pdf]);
+        assert!(s.contains("inf"));
+        assert!(s.contains("50.0%"));
+    }
+
+    #[test]
+    fn power_bars_total_column() {
+        let b = PowerBreakdown {
+            idle_w: 5.0,
+            seek_w: 2.0,
+            rotational_w: 1.0,
+            transfer_w: 0.5,
+        };
+        let s = power_bars("P", &["cfg"], &[b]);
+        assert!(s.contains("8.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,215 @@
+//! The reduced-RPM study of §7.2 (Figures 6 and 7): since spindle power
+//! is nearly cubic in RPM, an intra-disk parallel drive can be designed
+//! at a lower RPM — the extra rotational latency being offset by the
+//! extra actuators — cutting average power to or below a conventional
+//! drive's while still matching the MD array.
+
+use diskmodel::presets;
+use intradisk::{DriveConfig, PowerBreakdown};
+use simkit::Cdf;
+use workload::WorkloadKind;
+
+use crate::configs::{md_config, trace_for, Scale};
+use crate::report;
+use crate::runner::{run_array, run_drive};
+
+/// The spindle speeds evaluated (7200 is the baseline drive).
+pub const RPMS: [u32; 4] = [7200, 6200, 5200, 4200];
+
+/// The actuator counts evaluated at reduced RPM.
+pub const ACTUATORS: [u32; 2] = [2, 4];
+
+/// One `(actuators, rpm)` design point.
+#[derive(Debug, Clone)]
+pub struct RpmPoint {
+    /// Number of actuators.
+    pub actuators: u32,
+    /// Spindle speed.
+    pub rpm: u32,
+    /// Mean response time, ms.
+    pub mean_ms: f64,
+    /// 90th-percentile response time, ms.
+    pub p90_ms: f64,
+    /// Response-time CDF.
+    pub cdf: Cdf,
+    /// Average power breakdown.
+    pub power: PowerBreakdown,
+}
+
+impl RpmPoint {
+    /// The label used in Figure 6/7, e.g. `SA(4)/4200`.
+    pub fn label(&self) -> String {
+        format!("SA({})/{}", self.actuators, self.rpm)
+    }
+}
+
+/// Figure 6/7 results for one workload.
+#[derive(Debug, Clone)]
+pub struct RpmResult {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// MD reference CDF.
+    pub md_cdf: Cdf,
+    /// MD mean response time, ms.
+    pub md_mean_ms: f64,
+    /// The HC-SD (1 actuator, 7200 RPM) baseline.
+    pub hcsd: RpmPoint,
+    /// All `(actuators, rpm)` design points.
+    pub points: Vec<RpmPoint>,
+}
+
+/// The full reduced-RPM study.
+#[derive(Debug, Clone)]
+pub struct RpmStudy {
+    /// One result per workload.
+    pub workloads: Vec<RpmResult>,
+}
+
+fn run_point(kind: WorkloadKind, scale: Scale, actuators: u32, rpm: u32) -> RpmPoint {
+    let trace = trace_for(kind, scale);
+    let params = presets::barracuda_es_at_rpm(rpm);
+    let mut r = run_drive(&params, DriveConfig::sa(actuators), &trace);
+    RpmPoint {
+        actuators,
+        rpm,
+        mean_ms: r.metrics.response_time_ms.mean(),
+        p90_ms: r.p90_ms(),
+        cdf: r.metrics.response_hist.cdf(),
+        power: r.power,
+    }
+}
+
+/// Runs the RPM sweep for one workload.
+pub fn run_one(kind: WorkloadKind, scale: Scale) -> RpmResult {
+    let trace = trace_for(kind, scale);
+    let cfg = md_config(kind);
+    let md = run_array(
+        &cfg.drive,
+        DriveConfig::conventional(),
+        cfg.disks,
+        cfg.layout,
+        &trace,
+    );
+    let hcsd = run_point(kind, scale, 1, 7200);
+    let mut points = Vec::new();
+    for &rpm in &RPMS {
+        for &n in &ACTUATORS {
+            points.push(run_point(kind, scale, n, rpm));
+        }
+    }
+    RpmResult {
+        kind,
+        md_cdf: md.response_hist.cdf(),
+        md_mean_ms: md.response_time_ms.mean(),
+        hcsd,
+        points,
+    }
+}
+
+/// Runs the study for all four workloads.
+pub fn run(scale: Scale) -> RpmStudy {
+    RpmStudy {
+        workloads: WorkloadKind::ALL
+            .iter()
+            .map(|&k| run_one(k, scale))
+            .collect(),
+    }
+}
+
+impl RpmResult {
+    /// Design points whose mean response time breaks even with MD
+    /// within `slack` (Figure 7 plots only these).
+    pub fn break_even_points(&self, slack: f64) -> Vec<&RpmPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.mean_ms <= self.md_mean_ms * slack)
+            .collect()
+    }
+}
+
+impl RpmStudy {
+    /// Renders Figure 6: power bars for every design point, per
+    /// workload.
+    pub fn render_figure6(&self) -> String {
+        let mut out = String::from(
+            "Figure 6: Average power of reduced-RPM intra-disk parallel designs\n\n",
+        );
+        for w in &self.workloads {
+            let mut labels = vec!["HC-SD".to_string()];
+            let mut bars = vec![w.hcsd.power];
+            for p in &w.points {
+                labels.push(p.label());
+                bars.push(p.power);
+            }
+            let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+            out.push_str(&report::power_bars(w.kind.name(), &label_refs, &bars));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders Figure 7: response-time CDFs of the design points that
+    /// break even with MD (within 25% mean response time).
+    pub fn render_figure7(&self) -> String {
+        let mut out = String::from(
+            "Figure 7: Reduced-RPM designs whose response times match or exceed MD\n\
+             (break-even = mean response time within 25% of MD)\n\n",
+        );
+        for w in &self.workloads {
+            let points = w.break_even_points(1.25);
+            if points.is_empty() {
+                out.push_str(&format!(
+                    "{}: no reduced-RPM design breaks even with MD\n\n",
+                    w.kind.name()
+                ));
+                continue;
+            }
+            let labels: Vec<String> = points.iter().map(|p| p.label()).collect();
+            let mut label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+            label_refs.push("MD");
+            let mut cdfs: Vec<&Cdf> = points.iter().map(|p| &p.cdf).collect();
+            cdfs.push(&w.md_cdf);
+            out.push_str(&report::cdf_series(w.kind.name(), &label_refs, &cdfs));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_rpm_cuts_power_and_costs_latency() {
+        let scale = Scale::quick().with_requests(6_000);
+        let hi = run_point(WorkloadKind::TpcC, scale, 4, 7200);
+        let lo = run_point(WorkloadKind::TpcC, scale, 4, 4200);
+        assert!(lo.power.total_w() < hi.power.total_w() * 0.7);
+        assert!(lo.mean_ms > hi.mean_ms);
+    }
+
+    #[test]
+    fn more_actuators_offset_lower_rpm() {
+        let scale = Scale::quick().with_requests(6_000);
+        let sa2 = run_point(WorkloadKind::TpcC, scale, 2, 4200);
+        let sa4 = run_point(WorkloadKind::TpcC, scale, 4, 4200);
+        assert!(sa4.mean_ms < sa2.mean_ms);
+    }
+
+    #[test]
+    fn figure7_lists_tpch_break_even() {
+        let r = run_one(WorkloadKind::TpcH, Scale::quick().with_requests(6_000));
+        assert!(
+            !r.break_even_points(1.25).is_empty(),
+            "TPC-H should have reduced-RPM break-even designs (Figure 7)"
+        );
+    }
+
+    #[test]
+    fn labels() {
+        let scale = Scale::quick().with_requests(1_000);
+        let p = run_point(WorkloadKind::TpcH, scale, 4, 5200);
+        assert_eq!(p.label(), "SA(4)/5200");
+    }
+}

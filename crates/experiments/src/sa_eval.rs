@@ -1,0 +1,191 @@
+//! The intra-disk parallelism evaluation of §7.2 (Figure 5): replace
+//! HC-SD by HC-SD-SA(n) for n = 1..4 and measure the response-time CDFs
+//! (top row) and rotational-latency PDFs (bottom row), plus the §7.2
+//! side statistics — the fraction of non-zero seeks (which *rises* with
+//! more actuators) and the average power (Figure 6's 7200-RPM bars).
+
+use intradisk::{DriveConfig, PowerBreakdown};
+use simkit::{Cdf, Pdf};
+use workload::WorkloadKind;
+
+use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::report;
+use crate::runner::{run_array, run_drive};
+
+/// The actuator counts evaluated.
+pub const ACTUATORS: [u32; 4] = [1, 2, 3, 4];
+
+/// Figure 5 results for one workload.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// MD reference CDF.
+    pub md_cdf: Cdf,
+    /// MD mean response time, ms.
+    pub md_mean_ms: f64,
+    /// Response-time CDF per actuator count (index-aligned with
+    /// [`ACTUATORS`]; index 0 is HC-SD).
+    pub cdfs: Vec<Cdf>,
+    /// Rotational-latency PDF per actuator count.
+    pub pdfs: Vec<Pdf>,
+    /// Mean response time per actuator count, ms.
+    pub means_ms: Vec<f64>,
+    /// Mean rotational latency per actuator count, ms.
+    pub rot_means_ms: Vec<f64>,
+    /// Fraction of media accesses with non-zero seek, per actuator
+    /// count (§7.2 reports 55% → 83% → 90% for Websearch).
+    pub nonzero_seek_fraction: Vec<f64>,
+    /// Average power per actuator count (the 7200-RPM bars of
+    /// Figure 6).
+    pub power: Vec<PowerBreakdown>,
+}
+
+/// The full Figure 5 study.
+#[derive(Debug, Clone)]
+pub struct SaStudy {
+    /// One result per workload.
+    pub workloads: Vec<SaResult>,
+}
+
+/// Runs HC-SD-SA(n) for one workload.
+pub fn run_one(kind: WorkloadKind, scale: Scale) -> SaResult {
+    let trace = trace_for(kind, scale);
+    let cfg = md_config(kind);
+    let md = run_array(
+        &cfg.drive,
+        DriveConfig::conventional(),
+        cfg.disks,
+        cfg.layout,
+        &trace,
+    );
+    let mut cdfs = Vec::new();
+    let mut pdfs = Vec::new();
+    let mut means = Vec::new();
+    let mut rots = Vec::new();
+    let mut nz = Vec::new();
+    let mut power = Vec::new();
+    for &n in &ACTUATORS {
+        let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace);
+        cdfs.push(r.metrics.response_hist.cdf());
+        pdfs.push(r.metrics.rotational_hist.pdf());
+        means.push(r.metrics.response_time_ms.mean());
+        rots.push(r.metrics.rotational_ms.mean());
+        nz.push(r.metrics.nonzero_seek_fraction());
+        power.push(r.power);
+    }
+    SaResult {
+        kind,
+        md_cdf: md.response_hist.cdf(),
+        md_mean_ms: md.response_time_ms.mean(),
+        cdfs,
+        pdfs,
+        means_ms: means,
+        rot_means_ms: rots,
+        nonzero_seek_fraction: nz,
+        power,
+    }
+}
+
+/// Runs the study for all four workloads.
+pub fn run(scale: Scale) -> SaStudy {
+    SaStudy {
+        workloads: WorkloadKind::ALL
+            .iter()
+            .map(|&k| run_one(k, scale))
+            .collect(),
+    }
+}
+
+impl SaResult {
+    /// The smallest actuator count whose mean response time breaks even
+    /// with MD (within `slack`, e.g. 1.1 = within 10%), if any.
+    pub fn break_even_actuators(&self, slack: f64) -> Option<u32> {
+        ACTUATORS
+            .iter()
+            .zip(&self.means_ms)
+            .find(|(_, &m)| m <= self.md_mean_ms * slack)
+            .map(|(&n, _)| n)
+    }
+}
+
+impl SaStudy {
+    /// Renders Figure 5's top row (response-time CDFs).
+    pub fn render_cdfs(&self) -> String {
+        let mut out = String::from(
+            "Figure 5 (top): Response-time CDFs of the HC-SD-SA(n) design\n\n",
+        );
+        for w in &self.workloads {
+            let labels = ["HC-SD", "HC-SD-SA(2)", "HC-SD-SA(3)", "HC-SD-SA(4)", "MD"];
+            let cdfs: Vec<&Cdf> = w.cdfs.iter().chain(std::iter::once(&w.md_cdf)).collect();
+            out.push_str(&report::cdf_series(w.kind.name(), &labels, &cdfs));
+            match w.break_even_actuators(1.10) {
+                Some(n) => out.push_str(&format!(
+                    "  breaks even with MD (±10% mean) at {n} actuator(s)\n\n"
+                )),
+                None => out.push_str("  does not break even with MD within 4 actuators\n\n"),
+            }
+        }
+        out
+    }
+
+    /// Renders Figure 5's bottom row (rotational-latency PDFs).
+    pub fn render_pdfs(&self) -> String {
+        let mut out = String::from(
+            "Figure 5 (bottom): Rotational-latency PDFs of the HC-SD-SA(n) design\n\n",
+        );
+        for w in &self.workloads {
+            let labels = ["HC-SD", "HC-SD-SA(2)", "HC-SD-SA(3)", "HC-SD-SA(4)"];
+            let pdfs: Vec<&Pdf> = w.pdfs.iter().collect();
+            out.push_str(&report::pdf_series(w.kind.name(), &labels, &pdfs));
+            out.push_str(&format!(
+                "  non-zero-seek fraction by actuators: {}\n\n",
+                w.nonzero_seek_fraction
+                    .iter()
+                    .map(|f| format!("{:.0}%", f * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" / ")
+            ));
+        }
+        out
+    }
+
+    /// Renders the 7200-RPM power bars (left part of Figure 6).
+    pub fn render_power(&self) -> String {
+        let mut out = String::from(
+            "Figure 6 (7200 RPM columns): Average power of HC-SD-SA(n)\n\n",
+        );
+        for w in &self.workloads {
+            let labels = ["HC-SD", "SA(2)/7200", "SA(3)/7200", "SA(4)/7200"];
+            out.push_str(&report::power_bars(w.kind.name(), &labels, &w.power));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actuators_monotonically_improve_tpcc() {
+        let r = run_one(WorkloadKind::TpcC, Scale::quick().with_requests(8_000));
+        for w in r.means_ms.windows(2) {
+            assert!(w[1] <= w[0] * 1.02, "means not improving: {:?}", r.means_ms);
+        }
+        for w in r.rot_means_ms.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "rot not improving: {:?}", r.rot_means_ms);
+        }
+    }
+
+    #[test]
+    fn renders_include_breakeven_note() {
+        let r = run_one(WorkloadKind::TpcH, Scale::quick().with_requests(2_000));
+        let study = SaStudy { workloads: vec![r] };
+        let s = study.render_cdfs();
+        assert!(s.contains("breaks even") || s.contains("does not break even"));
+        assert!(study.render_pdfs().contains("non-zero-seek"));
+        assert!(study.render_power().contains("SA(4)/7200"));
+    }
+}

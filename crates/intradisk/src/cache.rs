@@ -1,0 +1,273 @@
+//! The segmented on-board disk cache.
+//!
+//! Disk buffer caches are organized as a small number of large segments
+//! used for read caching and read-ahead. The model here mirrors that:
+//! the cache is split into fixed-size, alignment-based segments; a read
+//! miss installs the segment(s) covering the accessed range (implicitly
+//! modelling read-ahead of the surrounding blocks, which the drive picks
+//! up for free while the head is over the track); a write invalidates
+//! overlapping segments (the drive model is write-through, as
+//! appropriate for the server-class workloads of the study).
+//!
+//! The limit study found cache size to be a non-factor for these
+//! workloads (§7.1: growing the cache from 8 MB to 64 MB "has negligible
+//! impact"); the cache model exists so that conclusion can be
+//! reproduced rather than assumed.
+
+use diskmodel::params::SECTOR_BYTES;
+
+/// Number of segments a drive cache is divided into.
+pub const DEFAULT_SEGMENTS: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Segment {
+    /// First sector covered (aligned to the segment size).
+    start: u64,
+    /// Recency tick of the last touch.
+    last_use: u64,
+}
+
+/// A segmented LRU read cache addressed in sectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentedCache {
+    segments: Vec<Segment>,
+    max_segments: usize,
+    segment_sectors: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegmentedCache {
+    /// Creates a cache of `cache_mib` mebibytes split into
+    /// [`DEFAULT_SEGMENTS`] segments. A zero-size cache never hits.
+    pub fn new(cache_mib: u32) -> Self {
+        Self::with_segments(cache_mib, DEFAULT_SEGMENTS)
+    }
+
+    /// Creates a cache with an explicit segment count.
+    ///
+    /// # Panics
+    /// Panics if `segments == 0`.
+    pub fn with_segments(cache_mib: u32, segments: usize) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        let total_sectors = cache_mib as u64 * 1024 * 1024 / SECTOR_BYTES;
+        let segment_sectors = (total_sectors / segments as u64).max(1);
+        SegmentedCache {
+            segments: Vec::with_capacity(segments),
+            max_segments: segments,
+            segment_sectors: if total_sectors == 0 { 0 } else { segment_sectors },
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Sectors per segment (0 for a disabled cache).
+    pub fn segment_sectors(&self) -> u64 {
+        self.segment_sectors
+    }
+
+    /// Lookup statistics: `(hits, misses)` over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when never used).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn segment_of(&self, lba: u64) -> u64 {
+        lba / self.segment_sectors * self.segment_sectors
+    }
+
+    /// Checks whether a read of `sectors` at `lba` hits entirely in the
+    /// cache, updating recency and statistics.
+    pub fn lookup(&mut self, lba: u64, sectors: u32) -> bool {
+        if self.segment_sectors == 0 {
+            self.misses += 1;
+            return false;
+        }
+        self.tick += 1;
+        let first = self.segment_of(lba);
+        let last = self.segment_of(lba + sectors as u64 - 1);
+        let mut seg = first;
+        let mut touched = Vec::new();
+        let hit = loop {
+            match self.segments.iter().position(|s| s.start == seg) {
+                Some(i) => touched.push(i),
+                None => break false,
+            }
+            if seg == last {
+                break true;
+            }
+            seg += self.segment_sectors;
+        };
+        if hit {
+            for i in touched {
+                self.segments[i].last_use = self.tick;
+            }
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Installs the segments covering a just-read range (read-ahead of
+    /// the surrounding blocks comes along for free).
+    pub fn install(&mut self, lba: u64, sectors: u32) {
+        if self.segment_sectors == 0 {
+            return;
+        }
+        self.tick += 1;
+        let first = self.segment_of(lba);
+        let last = self.segment_of(lba + sectors as u64 - 1);
+        let mut seg = first;
+        loop {
+            match self.segments.iter().position(|s| s.start == seg) {
+                Some(i) => self.segments[i].last_use = self.tick,
+                None => {
+                    if self.segments.len() == self.max_segments {
+                        // Evict the least recently used segment.
+                        let lru = self
+                            .segments
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| s.last_use)
+                            .map(|(i, _)| i)
+                            .expect("cache is non-empty here");
+                        self.segments.swap_remove(lru);
+                    }
+                    self.segments.push(Segment {
+                        start: seg,
+                        last_use: self.tick,
+                    });
+                }
+            }
+            if seg == last {
+                break;
+            }
+            seg += self.segment_sectors;
+        }
+    }
+
+    /// Invalidates any segment overlapping a written range
+    /// (write-through coherence).
+    pub fn invalidate(&mut self, lba: u64, sectors: u32) {
+        if self.segment_sectors == 0 {
+            return;
+        }
+        let first = self.segment_of(lba);
+        let last = self.segment_of(lba + sectors as u64 - 1);
+        self.segments
+            .retain(|s| s.start < first || s.start > last);
+    }
+
+    /// Number of resident segments.
+    pub fn resident_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_cache_misses() {
+        let mut c = SegmentedCache::new(8);
+        assert!(!c.lookup(100, 8));
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn install_then_hit() {
+        let mut c = SegmentedCache::new(8);
+        c.install(100, 8);
+        assert!(c.lookup(100, 8));
+        // Read-ahead: neighbours in the same segment also hit.
+        assert!(c.lookup(104, 4));
+        let seg = c.segment_sectors();
+        assert!(c.lookup(100 / seg * seg, 1));
+    }
+
+    #[test]
+    fn zero_cache_never_hits() {
+        let mut c = SegmentedCache::new(0);
+        c.install(0, 8);
+        assert!(!c.lookup(0, 8));
+        assert_eq!(c.resident_segments(), 0);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = SegmentedCache::with_segments(1, 2); // 2 segments of 1024 sectors
+        let seg = c.segment_sectors();
+        c.install(0, 1);
+        c.install(seg, 1);
+        assert_eq!(c.resident_segments(), 2);
+        // Touch segment 0 so segment 1 is LRU.
+        assert!(c.lookup(0, 1));
+        c.install(2 * seg, 1); // evicts segment 1
+        assert!(c.lookup(0, 1));
+        assert!(!c.lookup(seg, 1));
+        assert!(c.lookup(2 * seg, 1));
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let mut c = SegmentedCache::new(8);
+        c.install(100, 8);
+        assert!(c.lookup(100, 8));
+        c.invalidate(100, 8);
+        assert!(!c.lookup(100, 8));
+    }
+
+    #[test]
+    fn invalidate_only_overlapping() {
+        let mut c = SegmentedCache::new(8);
+        let seg = c.segment_sectors();
+        c.install(0, 1);
+        c.install(seg, 1);
+        c.invalidate(seg, 1);
+        assert!(c.lookup(0, 1));
+        assert!(!c.lookup(seg, 1));
+    }
+
+    #[test]
+    fn multi_segment_request() {
+        let mut c = SegmentedCache::new(8);
+        let seg = c.segment_sectors();
+        // Request straddling two segments.
+        let lba = seg - 4;
+        c.install(lba, 8);
+        assert!(c.lookup(lba, 8));
+        assert_eq!(c.resident_segments(), 2);
+        // Partial residency is a miss.
+        c.invalidate(seg, 1);
+        assert!(!c.lookup(lba, 8));
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = SegmentedCache::new(8);
+        c.install(0, 8);
+        assert!(c.lookup(0, 8));
+        assert!(!c.lookup(1_000_000, 8));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_cache_holds_more() {
+        let c8 = SegmentedCache::new(8);
+        let c64 = SegmentedCache::new(64);
+        assert!(c64.segment_sectors() > c8.segment_sectors());
+    }
+}

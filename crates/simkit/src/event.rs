@@ -1,0 +1,217 @@
+//! A deterministic discrete-event calendar.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, sequence)` — events at
+//! equal times pop in the order they were pushed, which makes entire
+//! simulations reproducible even when many events coincide (common with
+//! integer timestamps).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event taken out of an [`EventQueue`]: the instant it fires and its
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Reverse ordering so BinaryHeap (a max-heap) pops the earliest event.
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+/// A future-event list with stable FIFO ordering among simultaneous
+/// events.
+///
+/// ```
+/// use simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(1.0), "first@1ms");
+/// q.push(SimTime::from_millis(1.0), "second@1ms");
+/// q.push(SimTime::ZERO, "at-zero");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+/// assert_eq!(order, vec!["at-zero", "first@1ms", "second@1ms"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty calendar with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the last popped event — pushing
+    /// into the past would silently corrupt causality.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|e| {
+            self.last_popped = e.time;
+            ScheduledEvent {
+                time: e.time,
+                payload: e.payload,
+            }
+        })
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the current
+    /// simulation clock as seen by the queue).
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3.0), 3);
+        q.push(SimTime::from_millis(1.0), 1);
+        q.push(SimTime::from_millis(2.0), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_millis(5.0), i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        let want: Vec<i32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1.0), "a");
+        let first = q.pop().unwrap();
+        assert_eq!(first.payload, "a");
+        // Scheduling at exactly `now` is allowed.
+        q.push(first.time, "b");
+        q.push(first.time + SimDuration::from_millis(1.0), "c");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn push_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(2.0), ());
+        q.pop();
+        q.push(SimTime::from_millis(1.0), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(7.0), ());
+        q.push(SimTime::from_millis(4.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4.0)));
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_millis(9.0), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(9.0));
+    }
+}

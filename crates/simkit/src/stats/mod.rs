@@ -1,0 +1,13 @@
+//! Statistics used to report simulation results the way the paper does:
+//! CDFs/PDFs over fixed bucket edges, percentiles, and time-weighted
+//! operating-mode accounting for power attribution.
+
+mod histogram;
+mod quantile;
+mod summary;
+mod timeweight;
+
+pub use histogram::{Cdf, Histogram, Pdf};
+pub use quantile::P2Quantile;
+pub use summary::Summary;
+pub use timeweight::ModeAccumulator;

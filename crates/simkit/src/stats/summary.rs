@@ -1,0 +1,175 @@
+//! Sample summaries: streaming moments plus exact percentiles.
+//!
+//! [`Summary`] keeps every sample (the experiment runs are at most a few
+//! million requests, i.e. tens of megabytes), which lets it report exact
+//! percentiles — Figure 8 is plotted in terms of the 90th percentile of
+//! the response time, so percentile accuracy matters.
+
+/// Collects `f64` samples and reports mean/min/max/percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sum: f64,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN (a NaN would poison ordering).
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        self.samples.push(value);
+        self.sum += value;
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) by the nearest-rank method,
+    /// or 0 if empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1)]
+    }
+
+    /// Sample standard deviation, or 0 if fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = Summary::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(90.0), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(90.0), 90.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_after_more_records() {
+        let mut s = Summary::new();
+        s.record(10.0);
+        assert_eq!(s.percentile(90.0), 10.0);
+        s.record(20.0);
+        s.record(30.0);
+        // Re-sorts after new data.
+        assert_eq!(s.percentile(100.0), 30.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record(4.2);
+        }
+        assert!(s.stddev().abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        // Sample stddev of this classic dataset is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+}

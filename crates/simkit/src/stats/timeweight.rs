@@ -1,0 +1,179 @@
+//! Time-weighted accounting of operating modes.
+//!
+//! The paper attributes a drive's energy to the four operating modes —
+//! idle, seeking, rotational-latency wait, and data transfer — by the
+//! time spent in each (Figures 3 and 6). [`ModeAccumulator`] accumulates
+//! per-mode durations and converts them into average power given a
+//! per-mode power level.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulates time spent in each of a set of modes identified by a
+/// small integer key, and turns (mode time × mode power) into energy and
+/// average power.
+///
+/// Modes are caller-defined; the disk model uses
+/// `intradisk::power::DriveMode`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModeAccumulator {
+    time_in_mode: BTreeMap<u8, SimDuration>,
+    total: SimDuration,
+}
+
+impl ModeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `duration` to mode `mode`.
+    pub fn add(&mut self, mode: u8, duration: SimDuration) {
+        if duration.is_zero() {
+            return;
+        }
+        *self.time_in_mode.entry(mode).or_insert(SimDuration::ZERO) += duration;
+        self.total += duration;
+    }
+
+    /// Adds the span `[from, to)` to mode `mode`.
+    ///
+    /// # Panics
+    /// Panics if `to < from`.
+    pub fn add_span(&mut self, mode: u8, from: SimTime, to: SimTime) {
+        self.add(mode, to - from);
+    }
+
+    /// Total time recorded across all modes.
+    pub fn total_time(&self) -> SimDuration {
+        self.total
+    }
+
+    /// Time recorded for `mode`.
+    pub fn time_in(&self, mode: u8) -> SimDuration {
+        self.time_in_mode
+            .get(&mode)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fraction of total time spent in `mode` (0 if nothing recorded).
+    pub fn fraction_in(&self, mode: u8) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.time_in(mode).as_millis() / self.total.as_millis()
+        }
+    }
+
+    /// Energy in joules, given a power level in watts per mode.
+    ///
+    /// Modes missing from `power_w` contribute nothing.
+    pub fn energy_joules(&self, power_w: impl Fn(u8) -> f64) -> f64 {
+        self.time_in_mode
+            .iter()
+            .map(|(&m, &d)| power_w(m) * d.as_secs())
+            .sum()
+    }
+
+    /// Average power in watts over the recorded interval, given a
+    /// per-mode power level; 0 if nothing recorded.
+    pub fn average_power_w(&self, power_w: impl Fn(u8) -> f64) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.energy_joules(&power_w) / self.total.as_secs()
+        }
+    }
+
+    /// Average power contributed by a single mode (mode energy divided
+    /// by *total* time) — this is the height of one segment of the
+    /// paper's stacked power bars.
+    pub fn mode_average_power_w(&self, mode: u8, power: f64) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            power * self.time_in(mode).as_secs() / self.total.as_secs()
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ModeAccumulator) {
+        for (&m, &d) in &other.time_in_mode {
+            self.add(m, d);
+        }
+    }
+
+    /// Iterates over `(mode, duration)` pairs in mode order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, SimDuration)> + '_ {
+        self.time_in_mode.iter().map(|(&m, &d)| (m, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDLE: u8 = 0;
+    const SEEK: u8 = 1;
+
+    #[test]
+    fn accumulates_per_mode() {
+        let mut acc = ModeAccumulator::new();
+        acc.add(IDLE, SimDuration::from_millis(30.0));
+        acc.add(SEEK, SimDuration::from_millis(10.0));
+        acc.add(IDLE, SimDuration::from_millis(10.0));
+        assert_eq!(acc.time_in(IDLE), SimDuration::from_millis(40.0));
+        assert_eq!(acc.time_in(SEEK), SimDuration::from_millis(10.0));
+        assert_eq!(acc.total_time(), SimDuration::from_millis(50.0));
+        assert!((acc.fraction_in(IDLE) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_span() {
+        let mut acc = ModeAccumulator::new();
+        acc.add_span(SEEK, SimTime::from_millis(2.0), SimTime::from_millis(5.0));
+        assert_eq!(acc.time_in(SEEK), SimDuration::from_millis(3.0));
+    }
+
+    #[test]
+    fn energy_and_average_power() {
+        let mut acc = ModeAccumulator::new();
+        acc.add(IDLE, SimDuration::from_secs(9.0)); // 9 s at 10 W = 90 J
+        acc.add(SEEK, SimDuration::from_secs(1.0)); // 1 s at 20 W = 20 J
+        let p = |m: u8| if m == IDLE { 10.0 } else { 20.0 };
+        assert!((acc.energy_joules(p) - 110.0).abs() < 1e-9);
+        assert!((acc.average_power_w(p) - 11.0).abs() < 1e-9);
+        // Stacked-bar segment heights sum to the average power.
+        let seg_sum = acc.mode_average_power_w(IDLE, 10.0) + acc.mode_average_power_w(SEEK, 20.0);
+        assert!((seg_sum - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = ModeAccumulator::new();
+        assert_eq!(acc.total_time(), SimDuration::ZERO);
+        assert_eq!(acc.average_power_w(|_| 10.0), 0.0);
+        assert_eq!(acc.fraction_in(IDLE), 0.0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = ModeAccumulator::new();
+        let mut b = ModeAccumulator::new();
+        a.add(IDLE, SimDuration::from_millis(5.0));
+        b.add(IDLE, SimDuration::from_millis(7.0));
+        b.add(SEEK, SimDuration::from_millis(1.0));
+        a.merge(&b);
+        assert_eq!(a.time_in(IDLE), SimDuration::from_millis(12.0));
+        assert_eq!(a.total_time(), SimDuration::from_millis(13.0));
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut acc = ModeAccumulator::new();
+        acc.add(IDLE, SimDuration::ZERO);
+        assert_eq!(acc.iter().count(), 0);
+    }
+}

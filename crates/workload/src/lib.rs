@@ -1,0 +1,30 @@
+//! `workload` — the I/O request streams of the study.
+//!
+//! Three layers:
+//!
+//! * [`trace`] — the in-memory trace representation plus summary
+//!   statistics (read fraction, mean inter-arrival time, footprint).
+//! * [`arrival`] — arrival processes: Poisson (exponential
+//!   inter-arrival, used by the §7.3 synthetic study), log-normal, and
+//!   a two-state Markov-modulated Poisson process for the bursty
+//!   commercial workloads.
+//! * [`synth`] / [`profiles`] — generators. [`synth::SyntheticSpec`]
+//!   reproduces the paper's §7.3 synthetic workloads exactly as
+//!   described (1M requests, 60% reads, 20% sequential, exponential
+//!   inter-arrivals of mean 8/4/1 ms). [`profiles`] provides calibrated
+//!   stand-ins for the four commercial traces of Table 2 — see
+//!   DESIGN.md for the substitution rationale.
+//! * [`spc`] — a parser for SPC-format trace files (the format the
+//!   UMass repository distributes the original Financial/Websearch
+//!   traces in), so the real traces can be replayed when available.
+
+pub mod arrival;
+pub mod profiles;
+pub mod spc;
+pub mod synth;
+pub mod trace;
+
+pub use arrival::{ArrivalProcess, Mmpp};
+pub use profiles::{profile_for, TraceProfile, WorkloadKind};
+pub use synth::SyntheticSpec;
+pub use trace::{Trace, TraceStats};

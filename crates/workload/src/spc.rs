@@ -1,0 +1,292 @@
+//! SPC-format trace parsing.
+//!
+//! The UMass Trace Repository distributes the *Financial* and
+//! *Websearch* traces the paper used in the SPC (Storage Performance
+//! Council) text format: one request per line,
+//!
+//! ```text
+//! ASU,LBA,Size,Opcode,Timestamp[,...]
+//! ```
+//!
+//! where `ASU` is the application storage unit (≈ original disk/LUN),
+//! `LBA` is in 512-byte sectors relative to that ASU, `Size` is in
+//! bytes, `Opcode` is `r`/`R` or `w`/`W`, and `Timestamp` is in seconds
+//! from the start of the trace.
+//!
+//! This module parses that format into a [`Trace`], concatenating the
+//! ASUs into one logical address space exactly the way the paper's
+//! limit study lays MD data out on HC-SD ("sequentially populated with
+//! data from each of the drives"). If you have the real traces, replay
+//! them with `experiments::runner::run_drive`; the synthetic profiles
+//! in [`crate::profiles`] exist only because the originals are not
+//! redistributable.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
+
+use intradisk::{IoKind, IoRequest};
+use simkit::SimTime;
+
+use crate::trace::Trace;
+
+/// One parsed SPC record, before address-space concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpcRecord {
+    /// Application storage unit (original device number).
+    pub asu: u32,
+    /// Sector address within the ASU.
+    pub lba: u64,
+    /// Request size in bytes.
+    pub bytes: u64,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Arrival time.
+    pub arrival: SimTime,
+}
+
+/// Error parsing an SPC trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpcError {
+    line: usize,
+    message: String,
+}
+
+impl ParseSpcError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseSpcError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseSpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPC trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpcError {}
+
+/// Parses one SPC line (ignores any extra trailing fields).
+pub fn parse_line(line: &str, lineno: usize) -> Result<SpcRecord, ParseSpcError> {
+    let mut fields = line.split(',').map(str::trim);
+    let mut next = |what: &str| {
+        fields
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ParseSpcError::new(lineno, format!("missing {what} field")))
+    };
+    let asu = next("ASU")?
+        .parse::<u32>()
+        .map_err(|e| ParseSpcError::new(lineno, format!("bad ASU: {e}")))?;
+    let lba = next("LBA")?
+        .parse::<u64>()
+        .map_err(|e| ParseSpcError::new(lineno, format!("bad LBA: {e}")))?;
+    let bytes = next("Size")?
+        .parse::<u64>()
+        .map_err(|e| ParseSpcError::new(lineno, format!("bad size: {e}")))?;
+    if bytes == 0 {
+        return Err(ParseSpcError::new(lineno, "zero-byte request"));
+    }
+    let kind = match next("Opcode")? {
+        "r" | "R" => IoKind::Read,
+        "w" | "W" => IoKind::Write,
+        other => {
+            return Err(ParseSpcError::new(lineno, format!("bad opcode {other:?}")));
+        }
+    };
+    let secs = next("Timestamp")?
+        .parse::<f64>()
+        .map_err(|e| ParseSpcError::new(lineno, format!("bad timestamp: {e}")))?;
+    if !(secs.is_finite() && secs >= 0.0) {
+        return Err(ParseSpcError::new(lineno, "negative timestamp"));
+    }
+    Ok(SpcRecord {
+        asu,
+        lba,
+        bytes,
+        kind,
+        arrival: SimTime::from_millis(secs * 1_000.0),
+    })
+}
+
+/// Reads an entire SPC trace, concatenating the ASUs into one logical
+/// address space (ASU 0's blocks first, then ASU 1's, ...). Each ASU is
+/// sized to its largest referenced address, rounded up to `asu_align`
+/// sectors (use the original per-disk capacity when known, or 1 to pack
+/// tightly).
+///
+/// Blank lines and lines starting with `#` are skipped. Requests are
+/// truncated to `max_requests` if given.
+///
+/// # Errors
+/// Returns the first malformed line, or an I/O error wrapped into a
+/// parse error at line 0.
+pub fn read_trace(
+    reader: impl BufRead,
+    name: &str,
+    asu_align: u64,
+    max_requests: Option<usize>,
+) -> Result<Trace, ParseSpcError> {
+    assert!(asu_align > 0, "alignment must be positive");
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| ParseSpcError::new(lineno, format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        records.push(parse_line(trimmed, lineno)?);
+        if let Some(max) = max_requests {
+            if records.len() >= max {
+                break;
+            }
+        }
+    }
+    Ok(concatenate(name, &records, asu_align))
+}
+
+/// Concatenates parsed records into a single-volume [`Trace`].
+pub fn concatenate(name: &str, records: &[SpcRecord], asu_align: u64) -> Trace {
+    assert!(asu_align > 0, "alignment must be positive");
+    // Size each ASU by its highest referenced sector.
+    let mut asu_size: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in records {
+        let sectors = r.bytes.div_ceil(512);
+        let end = r.lba + sectors;
+        let e = asu_size.entry(r.asu).or_insert(0);
+        *e = (*e).max(end);
+    }
+    let mut asu_base: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut base = 0u64;
+    for (&asu, &size) in &asu_size {
+        asu_base.insert(asu, base);
+        base += size.div_ceil(asu_align) * asu_align;
+    }
+    let footprint = base.max(1);
+    let requests = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let sectors = r.bytes.div_ceil(512).max(1) as u32;
+            IoRequest::new(
+                i as u64,
+                r.arrival,
+                asu_base[&r.asu] + r.lba,
+                sectors,
+                r.kind,
+            )
+        })
+        .collect();
+    Trace::new(name, requests, footprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+0,1000,4096,r,0.000000
+1,2000,8192,W,0.015000
+# a comment
+
+0,1004,512,R,0.031000
+";
+
+    #[test]
+    fn parses_well_formed_lines() {
+        let r = parse_line("2,12345,4096,w,1.5", 1).unwrap();
+        assert_eq!(r.asu, 2);
+        assert_eq!(r.lba, 12_345);
+        assert_eq!(r.bytes, 4_096);
+        assert_eq!(r.kind, IoKind::Write);
+        assert_eq!(r.arrival, SimTime::from_millis(1_500.0));
+    }
+
+    #[test]
+    fn tolerates_extra_fields_and_whitespace() {
+        let r = parse_line(" 0 , 5 , 1024 , R , 0.25 , extra , fields ", 1).unwrap();
+        assert_eq!(r.lba, 5);
+        assert_eq!(r.kind, IoKind::Read);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "0,5,1024,R",          // missing timestamp
+            "x,5,1024,R,0.1",      // bad ASU
+            "0,5,0,R,0.1",         // zero bytes
+            "0,5,1024,q,0.1",      // bad opcode
+            "0,5,1024,R,-1.0",     // negative time
+        ] {
+            let err = parse_line(bad, 7).unwrap_err();
+            assert_eq!(err.line(), 7, "{bad}");
+        }
+    }
+
+    #[test]
+    fn reads_trace_skipping_comments() {
+        let trace = read_trace(Cursor::new(SAMPLE), "sample", 1, None).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.name(), "sample");
+        // Sorted by arrival.
+        assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn concatenation_keeps_asus_disjoint() {
+        let trace = read_trace(Cursor::new(SAMPLE), "s", 1, None).unwrap();
+        // ASU 0 spans [0, 1005); ASU 1 must start at or after 1005.
+        let reqs = trace.requests();
+        let asu1 = reqs.iter().find(|r| r.sectors == 16).expect("the 8 KiB write");
+        assert!(asu1.lba >= 1005 + 2000, "ASU 1 base not offset: {}", asu1.lba);
+        assert!(trace.footprint_sectors() >= asu1.end_lba());
+    }
+
+    #[test]
+    fn alignment_rounds_asu_bases() {
+        let trace = read_trace(Cursor::new(SAMPLE), "s", 4096, None).unwrap();
+        let asu1 = trace
+            .requests()
+            .iter()
+            .find(|r| r.sectors == 16)
+            .expect("the 8 KiB write");
+        // Base of ASU 1 is 1005 rounded up to 4096.
+        assert_eq!(asu1.lba, 4096 + 2000);
+    }
+
+    #[test]
+    fn max_requests_truncates() {
+        let trace = read_trace(Cursor::new(SAMPLE), "s", 1, Some(2)).unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let bad = "0,1,512,r,0.0\n0,1,512,BAD,0.1\n";
+        let err = read_trace(Cursor::new(bad), "s", 1, None).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn sub_sector_sizes_round_up() {
+        let r = parse_line("0,9,100,r,0.0", 1).unwrap();
+        let t = concatenate("s", &[r], 1);
+        assert_eq!(t.requests()[0].sectors, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The §7.3 synthetic workload generator.
+//!
+//! "We use the synthetic workload generator in Disksim to create
+//! workloads that are composed of one million I/O requests. For all the
+//! synthetic workloads, 60% of the requests are reads and 20% of all
+//! requests are sequential. [...] We vary the inter-arrival time of the
+//! I/O requests to the storage system using an exponential
+//! distribution [with means] 8 ms, 4 ms, and 1 ms, which represent
+//! light, moderate, and heavy I/O loads respectively."
+
+use intradisk::{IoKind, IoRequest};
+use simkit::{Rng64, SimDuration, SimTime};
+
+use crate::trace::Trace;
+
+/// Specification of a §7.3 synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of requests (the paper uses one million).
+    pub requests: usize,
+    /// Fraction of reads (paper: 0.6).
+    pub read_fraction: f64,
+    /// Fraction of requests continuing the previous request
+    /// (paper: 0.2).
+    pub sequential_fraction: f64,
+    /// Mean of the exponential inter-arrival distribution, ms
+    /// (paper: 8, 4, or 1).
+    pub mean_interarrival_ms: f64,
+    /// Request size in sectors (4 KiB default).
+    pub sectors: u32,
+    /// Logical address space to draw from, in sectors.
+    pub footprint_sectors: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's configuration at a given inter-arrival mean and
+    /// footprint, scaled to `requests` requests.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn paper(mean_interarrival_ms: f64, footprint_sectors: u64, requests: usize) -> Self {
+        assert!(mean_interarrival_ms > 0.0 && footprint_sectors > 0 && requests > 0);
+        SyntheticSpec {
+            requests,
+            read_fraction: 0.6,
+            sequential_fraction: 0.2,
+            mean_interarrival_ms,
+            sectors: 8,
+            footprint_sectors,
+        }
+    }
+
+    /// Generates the trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction)
+                && (0.0..=1.0).contains(&self.sequential_fraction),
+            "fractions out of range"
+        );
+        let mut rng = Rng64::new(seed);
+        let mut arrival_rng = rng.fork();
+        let mut addr_rng = rng.fork();
+        let mut kind_rng = rng.fork();
+
+        let mut t = SimTime::ZERO;
+        let mut prev_end: u64 = 0;
+        let mut reqs = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            let gap = -self.mean_interarrival_ms * arrival_rng.f64_open().ln();
+            t += SimDuration::from_millis(gap);
+            let sequential = id > 0 && addr_rng.chance(self.sequential_fraction);
+            let lba = if sequential {
+                prev_end % self.footprint_sectors
+            } else {
+                // Align to the request size, as filesystems do.
+                let slots = (self.footprint_sectors / self.sectors as u64).max(1);
+                addr_rng.below(slots) * self.sectors as u64
+            };
+            let kind = if kind_rng.chance(self.read_fraction) {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
+            prev_end = lba + self.sectors as u64;
+            reqs.push(IoRequest::new(id, t, lba, self.sectors, kind));
+        }
+        Trace::new(
+            format!("synthetic-{}ms", self.mean_interarrival_ms),
+            reqs,
+            self.footprint_sectors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOOTPRINT: u64 = 100_000_000;
+
+    #[test]
+    fn matches_spec_statistics() {
+        let spec = SyntheticSpec::paper(4.0, FOOTPRINT, 50_000);
+        let trace = spec.generate(1);
+        let s = trace.stats();
+        assert_eq!(s.requests, 50_000);
+        assert!((s.read_fraction - 0.6).abs() < 0.01, "{}", s.read_fraction);
+        assert!(
+            (s.sequential_fraction - 0.2).abs() < 0.01,
+            "{}",
+            s.sequential_fraction
+        );
+        assert!(
+            (s.mean_interarrival_ms - 4.0).abs() < 0.1,
+            "{}",
+            s.mean_interarrival_ms
+        );
+        assert!((s.mean_sectors - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SyntheticSpec::paper(8.0, FOOTPRINT, 1_000);
+        assert_eq!(spec.generate(9), spec.generate(9));
+        assert_ne!(spec.generate(9), spec.generate(10));
+    }
+
+    #[test]
+    fn addresses_within_footprint() {
+        let spec = SyntheticSpec::paper(1.0, FOOTPRINT, 10_000);
+        let trace = spec.generate(2);
+        assert!(trace
+            .requests()
+            .iter()
+            .all(|r| r.lba < FOOTPRINT));
+    }
+
+    #[test]
+    fn heavier_load_means_shorter_gaps() {
+        let light = SyntheticSpec::paper(8.0, FOOTPRINT, 5_000).generate(3);
+        let heavy = SyntheticSpec::paper(1.0, FOOTPRINT, 5_000).generate(3);
+        assert!(heavy.stats().duration_ms < light.stats().duration_ms / 4.0);
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        let trace = SyntheticSpec::paper(4.0, FOOTPRINT, 5_000).generate(4);
+        assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+}

@@ -1,0 +1,60 @@
+//! OLTP consolidation: the paper's headline scenario on the TPC-C
+//! workload. A 4-disk, 10k-RPM array (Table 2) is consolidated onto a
+//! single 750 GB drive — first a conventional one (severe slowdown),
+//! then intra-disk parallel ones (break-even at a fraction of the
+//! power).
+//!
+//! ```text
+//! cargo run --release -p experiments --example oltp_consolidation
+//! ```
+
+use experiments::configs::{hcsd_params, md_config, trace_for, Scale};
+use experiments::runner::{run_array, run_drive};
+use intradisk::DriveConfig;
+use workload::WorkloadKind;
+
+fn main() {
+    let kind = WorkloadKind::TpcC;
+    let scale = Scale::report().with_requests(60_000);
+    let trace = trace_for(kind, scale);
+    let cfg = md_config(kind);
+
+    println!(
+        "TPC-C on its original array: {} x {} ({} RPM)",
+        cfg.disks,
+        cfg.drive.name(),
+        cfg.drive.rpm()
+    );
+    let md = run_array(
+        &cfg.drive,
+        DriveConfig::conventional(),
+        cfg.disks,
+        cfg.layout,
+        &trace,
+    );
+    println!(
+        "  MD   : mean {:6.2} ms | power {:6.1} W\n",
+        md.response_time_ms.mean(),
+        md.power.total_w()
+    );
+
+    println!("Consolidated onto one {}:", hcsd_params().name());
+    for n in 1..=4u32 {
+        let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace);
+        let verdict = if r.metrics.response_time_ms.mean() <= md.response_time_ms.mean() * 1.10 {
+            "breaks even with MD"
+        } else {
+            "below MD"
+        };
+        println!(
+            "  SA({n}): mean {:6.2} ms | power {:6.2} W | {}",
+            r.metrics.response_time_ms.mean(),
+            r.power.total_w(),
+            verdict
+        );
+    }
+    println!(
+        "\nAn intra-disk parallel drive matches the array at roughly an order \
+         of magnitude less power (Figures 2/3/5 of the paper)."
+    );
+}
