@@ -13,9 +13,8 @@
 //! * the technical report's overlap relaxations,
 //! * freeblock scheduling vs. a dedicated spare assembly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench;
 use std::hint::black_box;
-use std::time::Duration;
 
 use array::Layout;
 use diskmodel::presets;
@@ -26,61 +25,53 @@ use intradisk::{ArmPlacement, DriveConfig, IoKind, IoRequest, QueuePolicy};
 use simkit::{Rng64, SimDuration, SimTime};
 use workload::{SyntheticSpec, Trace};
 
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
 fn trace(mean_ms: f64, n: usize) -> Trace {
     SyntheticSpec::paper(mean_ms, presets::barracuda_es_750gb().capacity_sectors(), n).generate(42)
 }
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(3));
-    g
-}
-
-fn ablate_policy(c: &mut Criterion) {
+fn ablate_policy() {
     let t = trace(5.0, 4_000);
     let params = presets::barracuda_es_750gb();
-    let mut g = group(c, "ablations");
     for (name, policy) in [
         ("policy_fcfs", QueuePolicy::Fcfs),
         ("policy_sstf", QueuePolicy::Sstf),
         ("policy_sptf", QueuePolicy::Sptf),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_drive(&params, DriveConfig::sa(1).with_policy(policy), &t)))
+        bench(name, WARMUP, SAMPLES, || {
+            black_box(run_drive(&params, DriveConfig::sa(1).with_policy(policy), &t))
         });
         let r = run_drive(&params, DriveConfig::sa(1).with_policy(policy), &t);
         println!("{name}: mean {:.2} ms", r.metrics.response_time_ms.mean());
     }
-    g.finish();
 }
 
-fn ablate_window(c: &mut Criterion) {
+fn ablate_window() {
     let t = trace(4.0, 4_000);
     let params = presets::barracuda_es_750gb();
-    let mut g = group(c, "ablations");
     for window in [4usize, 16, 64, 256] {
         let name = format!("sptf_window_{window}");
-        g.bench_function(&name, |b| {
-            b.iter(|| black_box(run_drive(&params, DriveConfig::sa(2).with_window(window), &t)))
+        bench(&name, WARMUP, SAMPLES, || {
+            black_box(run_drive(&params, DriveConfig::sa(2).with_window(window), &t))
         });
         let r = run_drive(&params, DriveConfig::sa(2).with_window(window), &t);
         println!("{name}: mean {:.2} ms", r.metrics.response_time_ms.mean());
     }
-    g.finish();
 }
 
-fn ablate_placement(c: &mut Criterion) {
+fn ablate_placement() {
     let t = trace(6.0, 4_000);
     let params = presets::barracuda_es_750gb();
-    let mut g = group(c, "ablations");
     for (name, placement) in [
         ("placement_equally_spaced", ArmPlacement::EquallySpaced),
         ("placement_colocated", ArmPlacement::Colocated),
     ] {
         let cfg = DriveConfig::sa(4).with_placement(placement.clone());
-        g.bench_function(name, |b| b.iter(|| black_box(run_drive(&params, cfg.clone(), &t))));
+        bench(name, WARMUP, SAMPLES, || {
+            black_box(run_drive(&params, cfg.clone(), &t))
+        });
         let r = run_drive(&params, cfg, &t);
         println!(
             "{name}: mean {:.2} ms, rotational {:.2} ms",
@@ -88,17 +79,15 @@ fn ablate_placement(c: &mut Criterion) {
             r.metrics.rotational_ms.mean()
         );
     }
-    g.finish();
 }
 
-fn ablate_cache(c: &mut Criterion) {
+fn ablate_cache() {
     let t = trace(6.0, 4_000);
-    let mut g = group(c, "ablations");
     for mib in [0u32, 8, 64] {
         let params = presets::barracuda_es_750gb().with_cache_mib(mib);
         let name = format!("cache_{mib}mib");
-        g.bench_function(&name, |b| {
-            b.iter(|| black_box(run_drive(&params, DriveConfig::sa(1), &t)))
+        bench(&name, WARMUP, SAMPLES, || {
+            black_box(run_drive(&params, DriveConfig::sa(1), &t))
         });
         let r = run_drive(&params, DriveConfig::sa(1), &t);
         println!(
@@ -107,64 +96,55 @@ fn ablate_cache(c: &mut Criterion) {
             r.metrics.cache_hits as f64 / r.metrics.completed.max(1) as f64
         );
     }
-    g.finish();
 }
 
-fn ablate_stripe(c: &mut Criterion) {
+fn ablate_stripe() {
     let t = trace(2.0, 4_000);
     let params = presets::barracuda_es_750gb();
-    let mut g = group(c, "ablations");
     for stripe in [16u64, 128, 1024] {
         let layout = Layout::Striped {
             stripe_sectors: stripe,
         };
         let name = format!("stripe_{stripe}_sectors");
-        g.bench_function(&name, |b| {
-            b.iter(|| black_box(run_array(&params, DriveConfig::conventional(), 4, layout, &t)))
+        bench(&name, WARMUP, SAMPLES, || {
+            black_box(run_array(&params, DriveConfig::conventional(), 4, layout, &t))
         });
         let r = run_array(&params, DriveConfig::conventional(), 4, layout, &t);
         println!("{name}: mean {:.2} ms", r.response_time_ms.mean());
     }
-    g.finish();
 }
 
-fn ablate_overlap(c: &mut Criterion) {
+fn ablate_overlap() {
     let params = presets::barracuda_es_750gb();
     let t = trace(6.0, 4_000);
     let reqs = t.requests().to_vec();
-    let mut g = group(c, "ablations");
     for (name, mode) in [
         ("overlap_baseline", OverlapMode::SingleArmMotion),
         ("overlap_multi_motion", OverlapMode::MultiMotion),
         ("overlap_multi_channel", OverlapMode::MultiChannel),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(replay(&params, OverlapConfig::new(4, mode), &reqs)))
+        bench(name, WARMUP, SAMPLES, || {
+            black_box(replay(&params, OverlapConfig::new(4, mode), &reqs))
         });
         let m = replay(&params, OverlapConfig::new(4, mode), &reqs);
         println!("{name}: mean {:.2} ms", m.response_time_ms.mean());
     }
-    g.finish();
 }
 
-fn ablate_freeblock(c: &mut Criterion) {
+fn ablate_freeblock() {
     let params = presets::barracuda_es_750gb();
     let mut rng = Rng64::new(9);
     let span = presets::barracuda_es_750gb().capacity_sectors() / 2400; // ~50 cylinders
     let bg: Vec<IoRequest> = (0..400)
         .map(|i| IoRequest::new(i, SimTime::ZERO, rng.below(span), 8, IoKind::Read))
         .collect();
-    let mut g = group(c, "ablations");
-    g.bench_function("freeblock_window_replay", |b| {
-        b.iter(|| {
-            let mut fb = FreeblockScheduler::new(&params, bg.clone());
-            for _ in 0..500 {
-                fb.offer_window(0, SimDuration::from_millis(8.0));
-            }
-            black_box(fb.stats())
-        })
+    bench("freeblock_window_replay", WARMUP, SAMPLES, || {
+        let mut fb = FreeblockScheduler::new(&params, bg.clone());
+        for _ in 0..500 {
+            fb.offer_window(0, SimDuration::from_millis(8.0));
+        }
+        black_box(fb.stats())
     });
-    g.finish();
     let mut fb = FreeblockScheduler::new(&params, bg.clone());
     for _ in 0..500 {
         fb.offer_window(0, SimDuration::from_millis(8.0));
@@ -177,14 +157,12 @@ fn ablate_freeblock(c: &mut Criterion) {
     );
 }
 
-criterion_group!(
-    ablations,
-    ablate_policy,
-    ablate_window,
-    ablate_placement,
-    ablate_cache,
-    ablate_stripe,
-    ablate_overlap,
-    ablate_freeblock
-);
-criterion_main!(ablations);
+fn main() {
+    ablate_policy();
+    ablate_window();
+    ablate_placement();
+    ablate_cache();
+    ablate_stripe();
+    ablate_overlap();
+    ablate_freeblock();
+}

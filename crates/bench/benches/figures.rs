@@ -4,39 +4,30 @@
 //! shared reduced scale and prints the headline numbers once, so
 //! `cargo bench` both times the harness and regenerates every artifact.
 
-use bench::bench_scale;
-use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::{bottleneck, cost_analysis, limit_study, raid_eval, rpm_study, sa_eval, tech_table};
-use std::hint::black_box;
-use std::time::Duration;
+use bench::{bench, bench_scale};
+use experiments::{
+    bottleneck, cost_analysis, limit_study, raid_eval, rpm_study, sa_eval, tech_table,
+};
 use workload::WorkloadKind;
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(5));
-    g
-}
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = configure(c);
-    g.bench_function("table1_tech_comparison", |b| {
-        b.iter(|| black_box(tech_table::render()))
-    });
-    g.finish();
+fn bench_table1() {
+    bench("table1_tech_comparison", WARMUP, SAMPLES, tech_table::render);
     println!("{}", tech_table::render());
 }
 
-fn bench_fig2_fig3(c: &mut Criterion) {
+fn bench_fig2_fig3() {
     let scale = bench_scale();
-    let mut g = configure(c);
     for kind in WorkloadKind::ALL {
-        g.bench_function(format!("fig2_fig3_limit_study_{}", kind.name()), |b| {
-            b.iter(|| black_box(limit_study::run_one(kind, scale)))
-        });
+        bench(
+            &format!("fig2_fig3_limit_study_{}", kind.name()),
+            WARMUP,
+            SAMPLES,
+            || limit_study::run_one(kind, scale),
+        );
     }
-    g.finish();
     let w = limit_study::run_one(WorkloadKind::TpcC, scale);
     println!(
         "fig2/3 sample (TPC-C): MD mean {:.2} ms @ {:.1} W vs HC-SD mean {:.2} ms @ {:.1} W",
@@ -47,13 +38,11 @@ fn bench_fig2_fig3(c: &mut Criterion) {
     );
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4() {
     let scale = bench_scale();
-    let mut g = configure(c);
-    g.bench_function("fig4_bottleneck_tpcc", |b| {
-        b.iter(|| black_box(bottleneck::run_one(WorkloadKind::TpcC, scale)))
+    bench("fig4_bottleneck_tpcc", WARMUP, SAMPLES, || {
+        bottleneck::run_one(WorkloadKind::TpcC, scale)
     });
-    g.finish();
     let r = bottleneck::run_one(WorkloadKind::TpcC, scale);
     println!(
         "fig4 sample (TPC-C): seek-elimination speedup {:.2}x, rotational {:.2}x",
@@ -62,13 +51,11 @@ fn bench_fig4(c: &mut Criterion) {
     );
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5() {
     let scale = bench_scale();
-    let mut g = configure(c);
-    g.bench_function("fig5_sa_eval_websearch", |b| {
-        b.iter(|| black_box(sa_eval::run_one(WorkloadKind::Websearch, scale)))
+    bench("fig5_sa_eval_websearch", WARMUP, SAMPLES, || {
+        sa_eval::run_one(WorkloadKind::Websearch, scale)
     });
-    g.finish();
     let r = sa_eval::run_one(WorkloadKind::Websearch, scale);
     println!(
         "fig5 sample (Websearch): SA(1..4) means {:?} ms vs MD {:.2} ms",
@@ -76,13 +63,11 @@ fn bench_fig5(c: &mut Criterion) {
     );
 }
 
-fn bench_fig6_fig7(c: &mut Criterion) {
+fn bench_fig6_fig7() {
     let scale = bench_scale();
-    let mut g = configure(c);
-    g.bench_function("fig6_fig7_rpm_study_tpch", |b| {
-        b.iter(|| black_box(rpm_study::run_one(WorkloadKind::TpcH, scale)))
+    bench("fig6_fig7_rpm_study_tpch", WARMUP, SAMPLES, || {
+        rpm_study::run_one(WorkloadKind::TpcH, scale)
     });
-    g.finish();
     let r = rpm_study::run_one(WorkloadKind::TpcH, scale);
     let be = r.break_even_points(1.25);
     println!(
@@ -91,13 +76,11 @@ fn bench_fig6_fig7(c: &mut Criterion) {
     );
 }
 
-fn bench_fig8(c: &mut Criterion) {
+fn bench_fig8() {
     let scale = bench_scale();
-    let mut g = configure(c);
-    g.bench_function("fig8_raid_sweep_4ms", |b| {
-        b.iter(|| black_box(raid_eval::run_sweep(4.0, scale)))
+    bench("fig8_raid_sweep_4ms", WARMUP, SAMPLES, || {
+        raid_eval::run_sweep(4.0, scale)
     });
-    g.finish();
     let sweep = raid_eval::run_sweep(1.0, scale);
     let iso = sweep.iso_performance(1.15);
     for p in iso {
@@ -110,26 +93,19 @@ fn bench_fig8(c: &mut Criterion) {
     }
 }
 
-fn bench_cost(c: &mut Criterion) {
-    let mut g = configure(c);
-    g.bench_function("table9a_fig9b_cost_model", |b| {
-        b.iter(|| {
-            black_box(cost_analysis::render_table9a());
-            black_box(cost_analysis::render_figure9b())
-        })
+fn bench_cost() {
+    bench("table9a_fig9b_cost_model", WARMUP, SAMPLES, || {
+        (cost_analysis::render_table9a(), cost_analysis::render_figure9b())
     });
-    g.finish();
     println!("{}", cost_analysis::render_figure9b());
 }
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig2_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6_fig7,
-    bench_fig8,
-    bench_cost
-);
-criterion_main!(figures);
+fn main() {
+    bench_table1();
+    bench_fig2_fig3();
+    bench_fig4();
+    bench_fig5();
+    bench_fig6_fig7();
+    bench_fig8();
+    bench_cost();
+}

@@ -1,143 +1,114 @@
 //! Microbenchmarks of the simulator's building blocks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bench, bench_micro};
 use diskmodel::{presets, Geometry, RotationModel, SeekProfile};
 use intradisk::{DiskDrive, DriveConfig, IoKind, IoRequest, SegmentedCache};
 use simkit::{Rng64, Sample, SimTime, Zipf};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(30);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(2));
-    g
-}
+const WARMUP: usize = 2;
+const SAMPLES: usize = 15;
+const MICRO_ITERS: usize = 10_000;
 
-fn bench_seek_curve(c: &mut Criterion) {
+fn bench_seek_curve() {
     let params = presets::barracuda_es_750gb();
     let profile = SeekProfile::new(&params);
-    let mut g = group(c, "substrates");
-    g.bench_function("seek_time_eval", |b| {
-        let mut d = 1u32;
-        b.iter(|| {
-            d = (d * 7 + 13) % 119_999;
-            black_box(profile.seek_time(d))
-        })
+    let mut d = 1u32;
+    bench_micro("seek_time_eval", WARMUP, SAMPLES, MICRO_ITERS, || {
+        d = (d * 7 + 13) % 119_999;
+        black_box(profile.seek_time(d))
     });
-    g.finish();
 }
 
-fn bench_geometry(c: &mut Criterion) {
+fn bench_geometry() {
     let params = presets::barracuda_es_750gb();
     let geom = Geometry::new(&params);
     let total = geom.total_sectors();
-    let mut g = group(c, "substrates");
-    g.bench_function("geometry_locate", |b| {
-        let mut lba = 0u64;
-        b.iter(|| {
-            lba = (lba.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % total;
-            black_box(geom.locate(lba))
-        })
+    let mut lba = 0u64;
+    bench_micro("geometry_locate", WARMUP, SAMPLES, MICRO_ITERS, || {
+        lba = (lba.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % total;
+        black_box(geom.locate(lba))
     });
-    g.bench_function("geometry_segments_64k", |b| {
-        let mut lba = 0u64;
-        b.iter(|| {
-            lba = (lba + 999_983) % (total - 128);
-            black_box(geom.segments(lba, 128))
-        })
+    let mut lba = 0u64;
+    bench_micro("geometry_segments_64k", WARMUP, SAMPLES, MICRO_ITERS, || {
+        lba = (lba + 999_983) % (total - 128);
+        black_box(geom.segments(lba, 128))
     });
-    g.finish();
 }
 
-fn bench_rotation(c: &mut Criterion) {
+fn bench_rotation() {
     let params = presets::barracuda_es_750gb();
     let rot = RotationModel::new(&params);
-    let mut g = group(c, "substrates");
-    g.bench_function("rotation_wait", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let t = SimTime::from_nanos(i * 1_234_567);
-            black_box(rot.wait_until_under(0.37, 0.91, t))
-        })
+    let mut i = 0u64;
+    bench_micro("rotation_wait", WARMUP, SAMPLES, MICRO_ITERS, || {
+        i += 1;
+        let t = SimTime::from_nanos(i * 1_234_567);
+        black_box(rot.wait_until_under(0.37, 0.91, t))
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let mut cache = SegmentedCache::new(8);
     let mut rng = Rng64::new(1);
     for _ in 0..16 {
         cache.install(rng.below(1_000_000), 8);
     }
-    let mut g = group(c, "substrates");
-    g.bench_function("cache_lookup", |b| {
-        b.iter(|| black_box(cache.lookup(rng.below(1_000_000), 8)))
+    bench_micro("cache_lookup", WARMUP, SAMPLES, MICRO_ITERS, || {
+        black_box(cache.lookup(rng.below(1_000_000), 8))
     });
-    g.finish();
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf() {
     let zipf = Zipf::new(1_000_000, 1.1);
     let mut rng = Rng64::new(2);
-    let mut g = group(c, "substrates");
-    g.bench_function("zipf_sample_1m_items", |b| {
-        b.iter(|| black_box(zipf.sample(&mut rng)))
+    bench_micro("zipf_sample_1m_items", WARMUP, SAMPLES, MICRO_ITERS, || {
+        black_box(zipf.sample(&mut rng))
     });
-    g.finish();
 }
 
-fn bench_drive_throughput(c: &mut Criterion) {
+fn bench_drive_throughput() {
     // End-to-end simulator throughput: requests serviced per wall-clock
     // second on a saturated 4-actuator drive.
     let params = presets::barracuda_es_750gb();
-    let mut g = group(c, "substrates");
-    g.bench_function("drive_sim_1000_requests", |b| {
-        b.iter(|| {
-            let mut drive = DiskDrive::new(&params, DriveConfig::sa(4));
-            let cap = drive.capacity_sectors();
-            let mut completion = None;
-            let mut i = 0u64;
-            loop {
-                let arrival = (i < 1000).then(|| SimTime::from_millis(i as f64 * 0.5));
-                let take = match (arrival, completion) {
-                    (None, None) => break,
-                    (Some(a), Some(c)) => a <= c,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                };
-                if take {
-                    let r = IoRequest::new(
-                        i,
-                        arrival.expect("arrival"),
-                        (i * 48_271 * 65_537) % cap,
-                        8,
-                        IoKind::Read,
-                    );
-                    i += 1;
-                    if let Some(f) = drive.submit(r, r.arrival) {
-                        completion = Some(f);
-                    }
-                } else {
-                    let (_, next) = drive.complete(completion.expect("pending"));
-                    completion = next;
+    bench("drive_sim_1000_requests", WARMUP, SAMPLES, || {
+        let mut drive = DiskDrive::new(&params, DriveConfig::sa(4));
+        let cap = drive.capacity_sectors();
+        let mut completion = None;
+        let mut i = 0u64;
+        loop {
+            let arrival = (i < 1000).then(|| SimTime::from_millis(i as f64 * 0.5));
+            let take = match (arrival, completion) {
+                (None, None) => break,
+                (Some(a), Some(c)) => a <= c,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if take {
+                let r = IoRequest::new(
+                    i,
+                    arrival.expect("arrival"),
+                    (i * 48_271 * 65_537) % cap,
+                    8,
+                    IoKind::Read,
+                );
+                i += 1;
+                if let Some(f) = drive.submit(r, r.arrival) {
+                    completion = Some(f);
                 }
+            } else {
+                let (_, next) = drive.complete(completion.expect("pending"));
+                completion = next;
             }
-            black_box(drive.metrics().completed)
-        })
+        }
+        black_box(drive.metrics().completed)
     });
-    g.finish();
 }
 
-criterion_group!(
-    substrates,
-    bench_seek_curve,
-    bench_geometry,
-    bench_rotation,
-    bench_cache,
-    bench_zipf,
-    bench_drive_throughput
-);
-criterion_main!(substrates);
+fn main() {
+    bench_seek_curve();
+    bench_geometry();
+    bench_rotation();
+    bench_cache();
+    bench_zipf();
+    bench_drive_throughput();
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR verification gate.
+#
+# Runs the tier-1 check from ROADMAP.md (release build + full test
+# suite) and then the test suite again with ignored tests included.
+# Everything is offline: the workspace has no external dependencies.
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> extended: cargo test -q -- --include-ignored"
+cargo test -q -- --include-ignored
+
+echo "==> verify OK"

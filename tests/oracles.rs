@@ -1,0 +1,204 @@
+//! Differential and metamorphic oracles.
+//!
+//! Rather than asserting absolute numbers, each test here pits two
+//! configurations of the simulator against each other where the model
+//! *guarantees* a relationship:
+//!
+//! * FCFS / SSTF / SPTF reorder service but must agree on the
+//!   completion **set** and conserve every request (no drops, no
+//!   duplicates, no time travel),
+//! * `DriveConfig::sa(1)` must reduce exactly to the conventional
+//!   single-actuator drive,
+//! * arm-assembly placement is irrelevant when there is only one arm,
+//! * scaling RPM moves latency (and spindle power) monotonically.
+
+use diskmodel::{presets, PowerModel, RotationModel};
+use experiments::runner::run_drive;
+use intradisk::{ArmPlacement, DiskDrive, DriveConfig, QueuePolicy};
+use workload::{SyntheticSpec, Trace};
+
+fn trace(mean_ms: f64, n: usize, seed: u64) -> Trace {
+    let cap = presets::barracuda_es_750gb().capacity_sectors();
+    SyntheticSpec::paper(mean_ms, cap, n).generate(seed)
+}
+
+/// Replays `trace` and returns the sorted completed-request ids,
+/// asserting causality (no completion before its arrival) along the way.
+fn completion_ids(config: DriveConfig, trace: &Trace) -> Vec<u64> {
+    let params = presets::barracuda_es_750gb();
+    let mut drive = DiskDrive::new(&params, config);
+    let mut completion = None;
+    let mut ids = Vec::new();
+    let reqs = trace.requests();
+    let mut i = 0;
+    loop {
+        let arrival = reqs.get(i).map(|r| r.arrival);
+        let take = match (arrival, completion) {
+            (None, None) => break,
+            (Some(a), Some(c)) => a <= c,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if take {
+            let r = reqs[i];
+            i += 1;
+            if let Some(f) = drive.submit(r, r.arrival) {
+                completion = Some(f);
+            }
+        } else {
+            let (done, next) = drive.complete(completion.expect("pending completion"));
+            assert!(
+                done.completed >= done.request.arrival,
+                "request {} completed at {:?} before its arrival {:?}",
+                done.request.id,
+                done.completed,
+                done.request.arrival
+            );
+            ids.push(done.request.id);
+            completion = next;
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+// ----------------------------------------------------- scheduling oracles
+
+#[test]
+fn oracle_policies_agree_on_completion_set_and_conserve_requests() {
+    // The queue policy reorders service but must neither drop nor
+    // duplicate: all three policies complete exactly the submitted set.
+    let t = trace(5.0, 3_000, 7);
+    let expect: Vec<u64> = t.requests().iter().map(|r| r.id).collect();
+    for actuators in [1u32, 4] {
+        for policy in [QueuePolicy::Fcfs, QueuePolicy::Sstf, QueuePolicy::Sptf] {
+            let ids = completion_ids(DriveConfig::sa(actuators).with_policy(policy), &t);
+            assert_eq!(
+                ids, expect,
+                "{policy:?} on SA({actuators}) lost or duplicated requests"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_position_aware_policies_do_not_lose_to_fcfs_under_load() {
+    // Metamorphic: at queue-building load, shortest-positioning-time
+    // scheduling exists to beat blind FCFS — it must at least not lose.
+    let t = trace(3.0, 4_000, 11);
+    let params = presets::barracuda_es_750gb();
+    let mean = |policy| {
+        run_drive(&params, DriveConfig::sa(1).with_policy(policy), &t)
+            .metrics
+            .response_time_ms
+            .mean()
+    };
+    let fcfs = mean(QueuePolicy::Fcfs);
+    let sptf = mean(QueuePolicy::Sptf);
+    assert!(
+        sptf <= fcfs * 1.02,
+        "SPTF mean {sptf:.2} ms worse than FCFS {fcfs:.2} ms"
+    );
+}
+
+// ---------------------------------------------------- reduction to baseline
+
+#[test]
+fn oracle_sa1_reduces_exactly_to_conventional_drive() {
+    // `conventional()` and `sa(1)` must be the *same* machine: identical
+    // completion counts, response-time statistics, and power draw.
+    let t = trace(6.0, 3_000, 3);
+    let params = presets::barracuda_es_750gb();
+    let conv = run_drive(&params, DriveConfig::conventional(), &t);
+    let sa1 = run_drive(&params, DriveConfig::sa(1), &t);
+    assert_eq!(conv.metrics.completed, sa1.metrics.completed);
+    assert_eq!(
+        conv.metrics.response_time_ms.mean(),
+        sa1.metrics.response_time_ms.mean(),
+        "SA(1) mean response diverges from conventional"
+    );
+    assert_eq!(
+        conv.metrics.response_time_ms.max(),
+        sa1.metrics.response_time_ms.max()
+    );
+    assert_eq!(conv.power.total_w(), sa1.power.total_w());
+    assert_eq!(conv.duration, sa1.duration);
+}
+
+#[test]
+fn oracle_single_arm_placement_is_irrelevant() {
+    // Azimuth placement only matters with multiple assemblies; with one
+    // arm both strategies put it in the same place.
+    let t = trace(6.0, 3_000, 5);
+    let params = presets::barracuda_es_750gb();
+    let spaced = run_drive(
+        &params,
+        DriveConfig::sa(1).with_placement(ArmPlacement::EquallySpaced),
+        &t,
+    );
+    let colocated = run_drive(
+        &params,
+        DriveConfig::sa(1).with_placement(ArmPlacement::Colocated),
+        &t,
+    );
+    assert_eq!(
+        spaced.metrics.response_time_ms.mean(),
+        colocated.metrics.response_time_ms.mean(),
+        "single-arm placement changed the simulation"
+    );
+    assert_eq!(spaced.metrics.completed, colocated.metrics.completed);
+}
+
+// ------------------------------------------------------------ RPM scaling
+
+#[test]
+fn oracle_rpm_scaling_moves_latency_and_power_monotonically() {
+    // Figures 6/7 ride on this: spinning faster can only shorten
+    // rotational waits and transfers (lower response time) while
+    // drawing more spindle power.
+    let t = trace(20.0, 2_000, 9);
+    let rpms = [4_200u32, 5_200, 6_200, 7_200];
+    let mut means = Vec::new();
+    let mut spindle = Vec::new();
+    for rpm in rpms {
+        let params = presets::barracuda_es_at_rpm(rpm);
+        let r = run_drive(&params, DriveConfig::conventional(), &t);
+        assert_eq!(r.metrics.completed, 2_000);
+        means.push(r.metrics.response_time_ms.mean());
+        spindle.push(PowerModel::new(&params).spindle_w());
+    }
+    testkit::golden::assert_strictly_increasing("spindle power vs RPM", &spindle);
+    for (pair, rpm) in means.windows(2).zip(rpms.windows(2)) {
+        assert!(
+            pair[1] <= pair[0],
+            "raising RPM {} -> {} raised mean response {:.3} -> {:.3}",
+            rpm[0],
+            rpm[1],
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn oracle_rotation_model_scales_with_rpm_and_track_density() {
+    // Model-level metamorphic checks: the revolution period shrinks
+    // inversely with RPM, and transferring a fixed number of sectors
+    // gets faster as tracks hold more of them (zone scaling).
+    let mut periods = Vec::new();
+    for rpm in [7_200u32, 6_200, 5_200, 4_200] {
+        periods.push(
+            RotationModel::new(&presets::barracuda_es_at_rpm(rpm))
+                .period()
+                .as_millis(),
+        );
+    }
+    testkit::golden::assert_strictly_increasing("rotation period vs falling RPM", &periods);
+    let rot = RotationModel::new(&presets::barracuda_es_750gb());
+    let mut transfer = Vec::new();
+    for sectors_per_track in [500u32, 1_000, 2_000] {
+        transfer.push(rot.transfer_time(64, sectors_per_track).as_millis());
+    }
+    testkit::golden::assert_monotone_nonincreasing("transfer time vs track density", &transfer, 0.0);
+    assert!(transfer[2] < transfer[0], "denser tracks must transfer faster");
+}

@@ -1,65 +1,81 @@
-//! Property-based tests (proptest) on the core invariants of every
+//! Property-based tests (testkit) on the core invariants of every
 //! substrate: geometry bijectivity, seek-curve shape, rotation bounds,
 //! cache soundness, layout conservation, scheduler completeness, and
 //! end-to-end conservation on randomized mini-traces.
+//!
+//! Each property runs 64 deterministic cases by default (32 for the
+//! heavier end-to-end replays, matching the seed suite); failures
+//! shrink and print a `TESTKIT_SEED=…` replay line.
 
 use array::Layout;
 use diskmodel::{presets, DiskParams, Geometry, RotationModel, SeekProfile};
 use intradisk::{DiskDrive, DriveConfig, IoKind, IoRequest};
-use proptest::prelude::*;
 use simkit::{Histogram, Rng64, SimTime};
+use testkit::{check, check_with, gen, Config, Gen};
 
-fn arb_params() -> impl Strategy<Value = DiskParams> {
-    (
-        1u32..=6,          // platters
-        2_000u32..=40_000, // cylinders
-        1u32..=24,         // zones
-        3_000u32..=15_000, // rpm
-        0.5f64..=4.0,      // capacity GB per platter-ish scale
-        1.0f64..=2.2,      // outer/inner ratio
-    )
-        .prop_map(|(platters, cylinders, zones, rpm, gb_scale, ratio)| {
-            DiskParams::builder("prop")
-                .platters(platters)
-                .cylinders(cylinders)
-                .zones(zones)
-                .rpm(rpm)
-                .capacity_gb(gb_scale * platters as f64 * 10.0)
-                .outer_inner_ratio(ratio)
-                .build()
-                .expect("generated parameters are valid")
-        })
+fn arb_params() -> Gen<DiskParams> {
+    Gen::new(|src| {
+        let platters = gen::u32_in(1..=6).generate(src);
+        let cylinders = gen::u32_in(2_000..=40_000).generate(src);
+        let zones = gen::u32_in(1..=24).generate(src);
+        let rpm = gen::u32_in(3_000..=15_000).generate(src);
+        let gb_scale = gen::f64_in(0.5, 4.0).generate(src);
+        let ratio = gen::f64_in(1.0, 2.2).generate(src);
+        DiskParams::builder("prop")
+            .platters(platters)
+            .cylinders(cylinders)
+            .zones(zones)
+            .rpm(rpm)
+            .capacity_gb(gb_scale * platters as f64 * 10.0)
+            .outer_inner_ratio(ratio)
+            .build()
+            .expect("generated parameters are valid")
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn heavy() -> Config {
+    Config {
+        cases: 32,
+        ..Config::default()
+    }
+}
 
-    #[test]
-    fn geometry_locate_lba_roundtrip(params in arb_params(), salt in 0u64..u64::MAX) {
+#[test]
+fn geometry_locate_lba_roundtrip() {
+    check("geometry_locate_lba_roundtrip", |t| {
+        let params = t.draw(&arb_params());
+        let salt = t.draw(&gen::u64_any());
         let g = Geometry::new(&params);
         let total = g.total_sectors();
-        prop_assert!(total > 0);
+        assert!(total > 0);
         // Probe 32 pseudo-random LBAs.
         let mut rng = Rng64::new(salt);
         for _ in 0..32 {
             let lba = rng.below(total);
             let loc = g.locate(lba);
-            prop_assert_eq!(g.lba_of(loc), lba);
+            assert_eq!(g.lba_of(loc), lba);
             let angle = g.sector_angle(loc);
-            prop_assert!((0.0..1.0).contains(&angle));
+            assert!((0.0..1.0).contains(&angle));
         }
-    }
+    });
+}
 
-    #[test]
-    fn geometry_capacity_close_to_formatted(params in arb_params()) {
+#[test]
+fn geometry_capacity_close_to_formatted() {
+    check("geometry_capacity_close_to_formatted", |t| {
+        let params = t.draw(&arb_params());
         let g = Geometry::new(&params);
         let want = params.capacity_sectors() as f64;
         let got = g.total_sectors() as f64;
-        prop_assert!((got - want).abs() / want < 0.02, "{got} vs {want}");
-    }
+        assert!((got - want).abs() / want < 0.02, "{got} vs {want}");
+    });
+}
 
-    #[test]
-    fn geometry_segments_conserve_sectors(params in arb_params(), salt in 0u64..u64::MAX) {
+#[test]
+fn geometry_segments_conserve_sectors() {
+    check("geometry_segments_conserve_sectors", |t| {
+        let params = t.draw(&arb_params());
+        let salt = t.draw(&gen::u64_any());
         let g = Geometry::new(&params);
         let mut rng = Rng64::new(salt);
         for _ in 0..16 {
@@ -68,76 +84,83 @@ proptest! {
             let clamped = count.min((g.total_sectors() - lba) as u32);
             let segs = g.segments(lba, count);
             let total: u64 = segs.iter().map(|s| s.sectors as u64).sum();
-            prop_assert_eq!(total, clamped as u64);
+            assert_eq!(total, clamped as u64);
             // Segments are contiguous in LBA space.
             let mut cur = lba;
             for s in &segs {
-                prop_assert_eq!(s.first_lba, cur);
+                assert_eq!(s.first_lba, cur);
                 cur += s.sectors as u64;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn seek_curve_monotone_and_hits_endpoints(
-        cylinders in 100u32..200_000,
-        single in 0.1f64..2.0,
-        avg_extra in 0.1f64..10.0,
-        full_extra in 0.1f64..10.0,
-    ) {
-        let single_ms = single;
-        let avg_ms = single + avg_extra;
+#[test]
+fn seek_curve_monotone_and_hits_endpoints() {
+    check("seek_curve_monotone_and_hits_endpoints", |t| {
+        let cylinders = t.draw(&gen::u32_in(100..=200_000));
+        let single_ms = t.draw(&gen::f64_in(0.1, 2.0));
+        let avg_extra = t.draw(&gen::f64_in(0.1, 10.0));
+        let full_extra = t.draw(&gen::f64_in(0.1, 10.0));
+        let avg_ms = single_ms + avg_extra;
         let full_ms = avg_ms + full_extra;
         let s = SeekProfile::from_points(cylinders - 1, single_ms, avg_ms, full_ms);
-        prop_assert!(s.seek_time(0).is_zero());
+        assert!(s.seek_time(0).is_zero());
         let t1 = s.seek_time(1).as_millis();
-        prop_assert!((t1 - single_ms).abs() < 1e-6);
+        assert!((t1 - single_ms).abs() < 1e-6);
         let tf = s.seek_time(cylinders - 1).as_millis();
-        prop_assert!((tf - full_ms).abs() < 1e-6);
+        assert!((tf - full_ms).abs() < 1e-6);
         let mut prev = s.seek_time(0);
         let step = (cylinders / 50).max(1);
         let mut d = 0;
         while d < cylinders - 1 {
             d = (d + step).min(cylinders - 1);
-            let t = s.seek_time(d);
-            prop_assert!(t >= prev);
-            prev = t;
+            let time = s.seek_time(d);
+            assert!(time >= prev);
+            prev = time;
         }
-    }
+    });
+}
 
-    #[test]
-    fn rotation_wait_always_below_period(
-        rpm in 3_000u32..20_000,
-        sector in 0.0f64..1.0,
-        head in 0.0f64..1.0,
-        at_ms in 0.0f64..10_000.0,
-    ) {
-        let m = RotationModel::from_period(simkit::SimDuration::from_millis(60_000.0 / rpm as f64));
+#[test]
+fn rotation_wait_always_below_period() {
+    check("rotation_wait_always_below_period", |t| {
+        let rpm = t.draw(&gen::u32_in(3_000..=20_000));
+        let sector = t.draw(&gen::f64_in(0.0, 1.0));
+        let head = t.draw(&gen::f64_in(0.0, 1.0));
+        let at_ms = t.draw(&gen::f64_in(0.0, 10_000.0));
+        let m = RotationModel::from_period(simkit::SimDuration::from_millis(
+            60_000.0 / rpm as f64,
+        ));
         let w = m.wait_until_under(sector, head, SimTime::from_millis(at_ms));
-        prop_assert!(w < m.period());
-    }
+        assert!(w < m.period());
+    });
+}
 
-    #[test]
-    fn histogram_cdf_monotone_and_bounded(values in prop::collection::vec(0.0f64..500.0, 1..200)) {
+#[test]
+fn histogram_cdf_monotone_and_bounded() {
+    check("histogram_cdf_monotone_and_bounded", |t| {
+        let values = t.draw(&gen::vec_of(gen::f64_in(0.0, 500.0), 1..=200));
         let mut h = Histogram::new(Histogram::paper_response_time_edges());
         for v in &values {
             h.record(*v);
         }
         let cdf = h.cdf();
         let fr = cdf.fraction_at();
-        prop_assert!(fr.windows(2).all(|w| w[0] <= w[1] + 1e-12));
-        prop_assert!(fr.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(fr.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(fr.iter().all(|&p| (0.0..=1.0).contains(&p)));
         let pdf = h.pdf();
         let mass: f64 = pdf.mass().iter().sum();
-        prop_assert!((mass - 1.0).abs() < 1e-9);
-    }
+        assert!((mass - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn layouts_conserve_sectors(
-        disks in 1usize..=12,
-        lba in 0u64..10_000_000,
-        sectors in 1u32..=2_048,
-    ) {
+#[test]
+fn layouts_conserve_sectors() {
+    check("layouts_conserve_sectors", |t| {
+        let disks = t.draw(&gen::usize_in(1..=12));
+        let lba = t.draw(&gen::u64_in(0..=9_999_999));
+        let sectors = t.draw(&gen::u32_in(1..=2_048));
         const PER_DISK: u64 = 1_000_000;
         for layout in [Layout::Concatenated, Layout::striped_default()] {
             let req = IoRequest::new(0, SimTime::ZERO, lba, sectors, IoKind::Read);
@@ -145,39 +168,41 @@ proptest! {
             let total: u64 = m.phase_one.iter().map(|s| s.sectors as u64).sum();
             // Wrapped requests may clamp at the very end of the volume
             // (concatenation only splits, never duplicates).
-            prop_assert!(total <= sectors as u64);
-            prop_assert!(total > 0);
+            assert!(total <= sectors as u64);
+            assert!(total > 0);
             for s in &m.phase_one {
-                prop_assert!(s.disk < disks);
-                prop_assert!(s.lba < PER_DISK);
+                assert!(s.disk < disks);
+                assert!(s.lba < PER_DISK);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn raid5_writes_touch_data_and_parity(
-        disks in 3usize..=10,
-        unit in 0u64..500,
-    ) {
+#[test]
+fn raid5_writes_touch_data_and_parity() {
+    check("raid5_writes_touch_data_and_parity", |t| {
+        let disks = t.draw(&gen::usize_in(3..=10));
+        let unit = t.draw(&gen::u64_in(0..=499));
         const PER_DISK: u64 = 1_000_000;
         let layout = Layout::raid5_default();
         let req = IoRequest::new(0, SimTime::ZERO, unit * 128, 8, IoKind::Write);
         let m = layout.map_request(disks, PER_DISK, &req);
-        prop_assert_eq!(m.phase_one.len(), 2);
-        prop_assert_eq!(m.phase_two.len(), 2);
+        assert_eq!(m.phase_one.len(), 2);
+        assert_eq!(m.phase_two.len(), 2);
         // Same pair of disks in both phases, data != parity.
         let p1: std::collections::BTreeSet<usize> = m.phase_one.iter().map(|s| s.disk).collect();
         let p2: std::collections::BTreeSet<usize> = m.phase_two.iter().map(|s| s.disk).collect();
-        prop_assert_eq!(&p1, &p2);
-        prop_assert_eq!(p1.len(), 2);
-    }
+        assert_eq!(&p1, &p2);
+        assert_eq!(p1.len(), 2);
+    });
+}
 
-    #[test]
-    fn drive_conserves_requests_on_random_minitraces(
-        seed in 0u64..u64::MAX,
-        n in 1usize..120,
-        actuators in 1u32..=4,
-    ) {
+#[test]
+fn drive_conserves_requests_on_random_minitraces() {
+    check("drive_conserves_requests_on_random_minitraces", |t| {
+        let seed = t.draw(&gen::u64_any());
+        let n = t.draw(&gen::usize_in(1..=119));
+        let actuators = t.draw(&gen::u32_in(1..=4));
         let params = DiskParams::builder("mini")
             .capacity_gb(10.0)
             .cylinders(5_000)
@@ -186,12 +211,12 @@ proptest! {
         let mut drive = DiskDrive::new(&params, DriveConfig::sa(actuators));
         let mut rng = Rng64::new(seed);
         let cap = drive.capacity_sectors();
-        let mut t = SimTime::ZERO;
+        let mut at = SimTime::ZERO;
         let mut reqs = Vec::new();
         for i in 0..n as u64 {
-            t += simkit::SimDuration::from_millis(rng.f64() * 6.0);
+            at += simkit::SimDuration::from_millis(rng.f64() * 6.0);
             let kind = if rng.chance(0.5) { IoKind::Read } else { IoKind::Write };
-            reqs.push(IoRequest::new(i, t, rng.below(cap), 1 + rng.below(64) as u32, kind));
+            reqs.push(IoRequest::new(i, at, rng.below(cap), 1 + rng.below(64) as u32, kind));
         }
         // Event loop.
         let mut completion: Option<SimTime> = None;
@@ -217,15 +242,18 @@ proptest! {
                 completion = next;
             }
         }
-        prop_assert_eq!(done, n);
-        prop_assert_eq!(drive.metrics().completed as usize, n);
-        prop_assert!(drive.is_idle());
+        assert_eq!(done, n);
+        assert_eq!(drive.metrics().completed as usize, n);
+        assert!(drive.is_idle());
         // Response time is non-negative and finite for all samples.
-        prop_assert!(drive.metrics().response_time_ms.min() >= 0.0);
-    }
+        assert!(drive.metrics().response_time_ms.min() >= 0.0);
+    });
+}
 
-    #[test]
-    fn more_actuators_never_hurt_mean_response(seed in 0u64..1_000) {
+#[test]
+fn more_actuators_never_hurt_mean_response() {
+    check("more_actuators_never_hurt_mean_response", |t| {
+        let seed = t.draw(&gen::u64_in(0..=999));
         let params = DiskParams::builder("mini")
             .capacity_gb(10.0)
             .cylinders(5_000)
@@ -270,101 +298,105 @@ proptest! {
             means.push(drive.metrics().response_time_ms.mean());
         }
         // Allow a whisker of slack: SPTF tie-breaking can differ.
-        prop_assert!(means[1] <= means[0] * 1.10, "SA4 {} vs SA1 {}", means[1], means[0]);
-    }
+        assert!(
+            means[1] <= means[0] * 1.10,
+            "SA4 {} vs SA1 {}",
+            means[1],
+            means[0]
+        );
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn spc_lines_roundtrip(
-        asu in 0u32..16,
-        lba in 0u64..1_000_000_000,
-        kbytes in 1u64..512,
-        write in proptest::bool::ANY,
-        secs in 0.0f64..100_000.0,
-    ) {
+#[test]
+fn spc_lines_roundtrip() {
+    check_with(heavy(), "spc_lines_roundtrip", |t| {
+        let asu = t.draw(&gen::u32_in(0..=15));
+        let lba = t.draw(&gen::u64_in(0..=999_999_999));
+        let kbytes = t.draw(&gen::u64_in(1..=511));
+        let write = t.draw(&gen::bool_any());
+        let secs = t.draw(&gen::f64_in(0.0, 100_000.0));
         let bytes = kbytes * 1024;
         let op = if write { "w" } else { "R" };
         let line = format!("{asu},{lba},{bytes},{op},{secs:.6}");
         let rec = workload::spc::parse_line(&line, 1).expect("well-formed line");
-        prop_assert_eq!(rec.asu, asu);
-        prop_assert_eq!(rec.lba, lba);
-        prop_assert_eq!(rec.bytes, bytes);
-        prop_assert_eq!(rec.kind == IoKind::Write, write);
+        assert_eq!(rec.asu, asu);
+        assert_eq!(rec.lba, lba);
+        assert_eq!(rec.bytes, bytes);
+        assert_eq!(rec.kind == IoKind::Write, write);
         let got_s = rec.arrival.as_millis() / 1_000.0;
-        prop_assert!((got_s - secs).abs() < 1e-5, "{got_s} vs {secs}");
-    }
+        assert!((got_s - secs).abs() < 1e-5, "{got_s} vs {secs}");
+    });
+}
 
-    #[test]
-    fn overlapped_drive_conserves_requests(
-        seed in 0u64..1_000,
-        n in 1usize..80,
-        mode_pick in 0u8..3,
-    ) {
+#[test]
+fn overlapped_drive_conserves_requests() {
+    check_with(heavy(), "overlapped_drive_conserves_requests", |t| {
         use intradisk::overlap::{replay as overlap_replay, OverlapConfig, OverlapMode};
-        let mode = match mode_pick {
-            0 => OverlapMode::SingleArmMotion,
-            1 => OverlapMode::MultiMotion,
-            _ => OverlapMode::MultiChannel,
-        };
+        let seed = t.draw(&gen::u64_in(0..=999));
+        let n = t.draw(&gen::usize_in(1..=79));
+        let mode = t.draw(&gen::one_of(vec![
+            OverlapMode::SingleArmMotion,
+            OverlapMode::MultiMotion,
+            OverlapMode::MultiChannel,
+        ]));
         let params = presets::barracuda_es_750gb();
         let mut rng = Rng64::new(seed);
-        let mut t = SimTime::ZERO;
+        let mut at = SimTime::ZERO;
         let reqs: Vec<IoRequest> = (0..n as u64)
             .map(|i| {
-                t += simkit::SimDuration::from_millis(rng.f64() * 8.0);
-                IoRequest::new(i, t, rng.below(1_000_000_000), 8, IoKind::Read)
+                at += simkit::SimDuration::from_millis(rng.f64() * 8.0);
+                IoRequest::new(i, at, rng.below(1_000_000_000), 8, IoKind::Read)
             })
             .collect();
         let m = overlap_replay(&params, OverlapConfig::new(4, mode), &reqs);
-        prop_assert_eq!(m.completed as usize, n);
-        prop_assert!(m.response_time_ms.min() >= 0.0);
-    }
+        assert_eq!(m.completed as usize, n);
+        assert!(m.response_time_ms.min() >= 0.0);
+    });
+}
 
-    #[test]
-    fn maid_energy_bounded_by_always_on_and_standby_floor(
-        seed in 0u64..500,
-        disks in 1usize..6,
-    ) {
+#[test]
+fn maid_energy_bounded_by_always_on_and_standby_floor() {
+    check_with(heavy(), "maid_energy_bounded_by_always_on_and_standby_floor", |t| {
         use array::maid::{replay as maid_replay, MaidConfig};
+        let seed = t.draw(&gen::u64_in(0..=499));
+        let disks = t.draw(&gen::usize_in(1..=5));
         let params = presets::array_drive_10k_19gb();
         let per_disk = diskmodel::Geometry::new(&params).total_sectors();
         let mut rng = Rng64::new(seed);
-        let mut t = SimTime::ZERO;
+        let mut at = SimTime::ZERO;
         let reqs: Vec<IoRequest> = (0..60u64)
             .map(|i| {
-                t += simkit::SimDuration::from_millis(rng.f64() * 5_000.0);
-                IoRequest::new(i, t, rng.below(per_disk * disks as u64), 8, IoKind::Read)
+                at += simkit::SimDuration::from_millis(rng.f64() * 5_000.0);
+                IoRequest::new(i, at, rng.below(per_disk * disks as u64), 8, IoKind::Read)
             })
             .collect();
         let cfg = MaidConfig::typical();
         let r = maid_replay(&params, cfg, disks, &reqs);
-        prop_assert_eq!(r.completed, 60);
+        assert_eq!(r.completed, 60);
         // Average power must sit between the all-standby floor and an
         // always-spinning array's seek ceiling.
         let pm = diskmodel::PowerModel::new(&params);
         let ceiling = pm.seek_w(1) * disks as f64 + 1e-6;
         let floor = cfg.standby_w * disks as f64 * 0.5; // generous slack
         let avg = r.average_power_w();
-        prop_assert!(avg <= ceiling, "avg {avg} > ceiling {ceiling}");
-        prop_assert!(avg >= floor, "avg {avg} < floor {floor}");
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.standby_fraction));
-    }
+        assert!(avg <= ceiling, "avg {avg} > ceiling {ceiling}");
+        assert!(avg >= floor, "avg {avg} < floor {floor}");
+        assert!((0.0..=1.0 + 1e-9).contains(&r.standby_fraction));
+    });
+}
 
-    #[test]
-    fn dash_labels_roundtrip(
-        d in 1u32..9,
-        a in 1u32..9,
-        s in 1u32..9,
-        h in 1u32..9,
-    ) {
+#[test]
+fn dash_labels_roundtrip() {
+    check_with(heavy(), "dash_labels_roundtrip", |t| {
         use intradisk::DashConfig;
+        let d = t.draw(&gen::u32_in(1..=8));
+        let a = t.draw(&gen::u32_in(1..=8));
+        let s = t.draw(&gen::u32_in(1..=8));
+        let h = t.draw(&gen::u32_in(1..=8));
         let cfg = DashConfig::new(d, a, s, h);
         let label = cfg.to_string();
         let parsed: DashConfig = label.parse().expect("own label parses");
-        prop_assert_eq!(parsed, cfg);
-        prop_assert_eq!(parsed.max_transfer_paths(), d * a * s * h);
-    }
+        assert_eq!(parsed, cfg);
+        assert_eq!(parsed.max_transfer_paths(), d * a * s * h);
+    });
 }
