@@ -10,9 +10,12 @@
 //! and returns any follow-on events plus any logical requests that
 //! finished.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: in-flight bookkeeping is part of the
+// simulator's determinism contract (DESIGN.md) — iteration and drain
+// order must not depend on a randomized hasher.
+use std::collections::BTreeMap;
 
-use diskmodel::DiskParams;
+use diskmodel::{DiskParams, DriveError};
 use intradisk::{DiskDrive, DriveConfig, IoRequest, PowerBreakdown};
 use simkit::{Histogram, SimTime, Summary};
 
@@ -91,8 +94,8 @@ pub struct ArrayController {
     disks: Vec<DiskDrive>,
     layout: Layout,
     per_disk: u64,
-    sub_owner: HashMap<u64, u64>,
-    outstanding: HashMap<u64, Outstanding>,
+    sub_owner: BTreeMap<u64, u64>,
+    outstanding: BTreeMap<u64, Outstanding>,
     next_sub_id: u64,
     next_key: u64,
     metrics: ArrayMetrics,
@@ -122,8 +125,8 @@ impl ArrayController {
             disks: members,
             layout,
             per_disk,
-            sub_owner: HashMap::new(),
-            outstanding: HashMap::new(),
+            sub_owner: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
             next_sub_id: 0,
             next_key: 0,
             metrics: ArrayMetrics::new(),
@@ -162,7 +165,15 @@ impl ArrayController {
 
     /// Submits a logical request at `now`; returns `(disk, completion)`
     /// pairs for every member disk that started new work.
-    pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Vec<(usize, SimTime)> {
+    ///
+    /// # Errors
+    /// Propagates [`DriveError`] from a member disk that rejects a
+    /// sub-request (e.g. every assembly failed).
+    pub fn submit(
+        &mut self,
+        req: IoRequest,
+        now: SimTime,
+    ) -> Result<Vec<(usize, SimTime)>, DriveError> {
         let mapped = self.layout.map_request(self.disks.len(), self.per_disk, &req);
         assert!(!mapped.is_empty(), "mapping produced no sub-requests");
         let key = self.next_key;
@@ -179,31 +190,45 @@ impl ArrayController {
         self.issue(key, &mapped.phase_one, now)
     }
 
-    fn issue(&mut self, key: u64, subs: &[SubRequest], now: SimTime) -> Vec<(usize, SimTime)> {
+    fn issue(
+        &mut self,
+        key: u64,
+        subs: &[SubRequest],
+        now: SimTime,
+    ) -> Result<Vec<(usize, SimTime)>, DriveError> {
         let mut started = Vec::new();
         for sub in subs {
             let sub_id = self.next_sub_id;
             self.next_sub_id += 1;
             self.sub_owner.insert(sub_id, key);
             let sreq = IoRequest::new(sub_id, now, sub.lba, sub.sectors, sub.kind);
-            if let Some(t) = self.disks[sub.disk].submit(sreq, now) {
+            if let Some(t) = self.disks[sub.disk].submit(sreq, now)? {
                 started.push((sub.disk, t));
             }
         }
-        started
+        Ok(started)
     }
 
     /// Consumes the completion event of member `disk` at time `now`.
     ///
-    /// # Panics
-    /// Panics if the disk has no request in service at `now` (event
-    /// mismatch) or the completed sub-request is unknown.
-    pub fn on_disk_complete(&mut self, disk: usize, now: SimTime) -> DiskCompletion {
-        let (done, next_on_disk) = self.disks[disk].complete(now);
+    /// # Errors
+    /// Propagates [`DriveError`] if the disk has no request in service
+    /// at `now` (event mismatch); returns
+    /// [`DriveError::UnknownSubRequest`] or
+    /// [`DriveError::RetiredRequest`] if the completed sub-request does
+    /// not map to an open logical request.
+    pub fn on_disk_complete(
+        &mut self,
+        disk: usize,
+        now: SimTime,
+    ) -> Result<DiskCompletion, DriveError> {
+        let (done, next_on_disk) = self.disks[disk].complete(now)?;
         let key = self
             .sub_owner
             .remove(&done.request.id)
-            .expect("completion for unknown sub-request");
+            .ok_or(DriveError::UnknownSubRequest {
+                sub_id: done.request.id,
+            })?;
         let mut out = DiskCompletion {
             next_on_disk,
             ..DiskCompletion::default()
@@ -212,7 +237,7 @@ impl ArrayController {
             let o = self
                 .outstanding
                 .get_mut(&key)
-                .expect("completion for retired logical request");
+                .ok_or(DriveError::RetiredRequest { key })?;
             o.remaining -= 1;
             if o.remaining > 0 {
                 None
@@ -222,21 +247,22 @@ impl ArrayController {
                 // Launch phase two; the logical request stays open.
                 let subs = std::mem::take(&mut o.phase_two);
                 o.remaining = subs.len();
-                out.started = self.issue(key, &subs, now);
+                out.started = self.issue(key, &subs, now)?;
                 None
             }
         };
         if let Some(key) = finished_logical {
-            let o = self.outstanding.remove(&key).expect("present");
-            let c = LogicalCompletion {
-                id: o.id,
-                arrival: o.arrival,
-                completed: now,
-            };
-            self.metrics.record(&c);
-            out.finished.push(c);
+            if let Some(o) = self.outstanding.remove(&key) {
+                let c = LogicalCompletion {
+                    id: o.id,
+                    arrival: o.arrival,
+                    completed: now,
+                };
+                self.metrics.record(&c);
+                out.finished.push(c);
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Closes idle-time accounting on every member disk at `end`.
@@ -291,12 +317,14 @@ mod tests {
             if take_arrival {
                 let r = arrivals[ai];
                 ai += 1;
-                for (disk, t) in array.submit(r, r.arrival) {
+                for (disk, t) in array.submit(r, r.arrival).expect("valid submit") {
                     events.push(t, disk);
                 }
             } else {
                 let ev = events.pop().expect("event pending");
-                let out = array.on_disk_complete(ev.payload, ev.time);
+                let out = array
+                    .on_disk_complete(ev.payload, ev.time)
+                    .expect("valid completion");
                 if let Some(t) = out.next_on_disk {
                     events.push(t, ev.payload);
                 }
@@ -454,5 +482,15 @@ mod tests {
     #[should_panic(expected = "at least one disk")]
     fn zero_disks_panics() {
         controller(0, Layout::striped_default());
+    }
+
+    #[test]
+    fn spurious_completion_is_typed_error() {
+        use diskmodel::DriveError;
+        let mut a = controller(2, Layout::striped_default());
+        // No request was ever submitted, so disk 0 has nothing in
+        // service: the event mismatch surfaces as a typed error.
+        let err = a.on_disk_complete(0, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, DriveError::NotInService);
     }
 }

@@ -31,7 +31,7 @@
 //! let mut array = ArrayController::new(&params, DriveConfig::conventional(), 4,
 //!                                      Layout::striped_default());
 //! let req = IoRequest::new(0, SimTime::ZERO, 1_000_000, 8, IoKind::Read);
-//! let started = array.submit(req, SimTime::ZERO);
+//! let started = array.submit(req, SimTime::ZERO).expect("submitted at arrival");
 //! assert_eq!(started.len(), 1); // one idle disk began service
 //! ```
 

@@ -176,13 +176,17 @@ pub fn replay(
         // Serve (single request at a time per member; arrivals are in
         // order so the queue is only needed for back-to-back requests,
         // which `busy_until` already serializes).
-        let plan = m.mech.plan(
+        // A member's single arm is never deconfigured, so planning
+        // cannot fail; skip the request rather than panic if it does.
+        let Ok(plan) = m.mech.plan(
             std::slice::from_ref(&m.arm),
             local_lba,
             req.sectors,
             start + overhead,
             LatencyScaling::none(),
-        );
+        ) else {
+            continue;
+        };
         let finish = start + overhead + plan.total();
         m.energy_j += power.idle_w() * (overhead + plan.rotational).as_secs();
         m.energy_j += power.seek_w(1) * plan.seek.as_secs();
@@ -227,7 +231,7 @@ pub fn replay(
         response_time_ms: response,
         energy_j: energy,
         duration,
-        standby_fraction: if aggregate == 0.0 {
+        standby_fraction: if aggregate <= 0.0 {
             0.0
         } else {
             standby.as_millis() / aggregate

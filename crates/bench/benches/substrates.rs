@@ -92,11 +92,13 @@ fn bench_drive_throughput() {
                     IoKind::Read,
                 );
                 i += 1;
-                if let Some(f) = drive.submit(r, r.arrival) {
+                if let Some(f) = drive.submit(r, r.arrival).expect("submit at arrival") {
                     completion = Some(f);
                 }
             } else {
-                let (_, next) = drive.complete(completion.expect("pending"));
+                let (_, next) = drive
+                    .complete(completion.expect("pending"))
+                    .expect("complete at promised time");
                 completion = next;
             }
         }

@@ -44,7 +44,7 @@ pub mod rotation;
 pub mod seek;
 pub mod thermal;
 
-pub use error::DiskModelError;
+pub use error::{DiskModelError, DriveError};
 pub use geometry::{Geometry, PhysLoc, TrackSegment, Zone};
 pub use params::{DiskParams, DiskParamsBuilder};
 pub use power::PowerModel;

@@ -15,7 +15,10 @@
 use crate::params::DiskParams;
 
 fn must(b: &mut crate::params::DiskParamsBuilder) -> DiskParams {
-    b.build().expect("preset parameters are valid by construction")
+    // Presets are hard-coded constants validated once at construction;
+    // a failure here is a bug in the preset itself, not a request-path
+    // condition a caller could recover from.
+    b.build().expect("preset parameters are valid by construction") // simlint: allow(no-panic-in-lib)
 }
 
 /// Seagate Barracuda ES 750 GB (ST3750640NS-class): the paper's HC-SD.

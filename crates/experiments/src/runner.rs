@@ -84,13 +84,13 @@ pub fn run_drive_with_failures(
             i += 1;
             failures.apply_due(&mut drive, r.arrival);
             end = end.max(r.arrival);
-            if let Some(f) = drive.submit(r, r.arrival) {
+            if let Some(f) = drive.submit(r, r.arrival).expect("runner submits at arrival") {
                 completion = Some(f);
             }
         } else {
             let c = completion.expect("completion pending");
             failures.apply_due(&mut drive, c);
-            let (done, next) = drive.complete(c);
+            let (done, next) = drive.complete(c).expect("runner completes at promised time");
             end = end.max(done.completed);
             completion = next;
         }
@@ -129,13 +129,15 @@ pub fn run_array(
             let r = reqs[i];
             i += 1;
             end = end.max(r.arrival);
-            for (disk, t) in array.submit(r, r.arrival) {
+            for (disk, t) in array.submit(r, r.arrival).expect("runner submits at arrival") {
                 events.push(t, disk);
             }
         } else {
             let ev = events.pop().expect("event pending");
             end = end.max(ev.time);
-            let out = array.on_disk_complete(ev.payload, ev.time);
+            let out = array
+                .on_disk_complete(ev.payload, ev.time)
+                .expect("runner completes at promised time");
             if let Some(t) = out.next_on_disk {
                 events.push(t, ev.payload);
             }

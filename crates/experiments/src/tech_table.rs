@@ -11,6 +11,13 @@ use diskmodel::{presets, DiskParams, PowerModel};
 
 use crate::report;
 
+/// True if this row is the paper's hypothetical modern multi-actuator
+/// projection (a modern-technology drive, power factor 1, quoted with
+/// more than one assembly).
+fn modern_projection(params: &DiskParams, actuators: u32) -> bool {
+    actuators > 1 && (params.technology_power_factor() - 1.0).abs() < 1e-9
+}
+
 /// One row of Table 1.
 #[derive(Debug, Clone)]
 pub struct TechRow {
@@ -39,7 +46,7 @@ pub fn table1() -> Vec<TechRow> {
         let pm = PowerModel::new(&params);
         // Products are quoted at operating duty on all their actuators;
         // the hypothetical parallel drive is quoted worst-case (§3).
-        let modeled = if actuators > 1 && params.technology_power_factor() == 1.0 {
+        let modeled = if modern_projection(&params, actuators) {
             pm.peak_w(actuators)
         } else {
             pm.idle_w()
@@ -85,7 +92,7 @@ pub fn render() -> String {
         .iter()
         .map(|r| {
             vec![
-                if r.actuators > 1 && r.params.technology_power_factor() == 1.0 {
+                if modern_projection(&r.params, r.actuators) {
                     format!("{} (4-actuator projection)", r.params.name())
                 } else {
                     r.params.name().to_string()

@@ -65,11 +65,13 @@ fn replay(drive: &mut DiskDrive, reqs: &[IoRequest]) {
         if take {
             let r = reqs[i];
             i += 1;
-            if let Some(f) = drive.submit(r, r.arrival) {
+            if let Some(f) = drive.submit(r, r.arrival).expect("replay submits at arrival") {
                 completion = Some(f);
             }
         } else {
-            let (_, next) = drive.complete(completion.expect("pending"));
+            let (_, next) = drive
+                .complete(completion.expect("pending"))
+                .expect("replay completes at promised time");
             completion = next;
         }
     }
@@ -147,7 +149,9 @@ pub fn check_multi_azimuth(k: u32) -> ValidationRow {
             .map(|a| intradisk::service::ArmState { cylinder: cyl, ..a })
             .collect();
         let now = SimTime::from_nanos(i as u64 * 1_734_967 + rng.below(1_000_000));
-        let plan = mech.plan(&arms, lba, 1, now, LatencyScaling::none());
+        let plan = mech
+            .plan(&arms, lba, 1, now, LatencyScaling::none())
+            .expect("live arms present");
         total += plan.rotational.as_millis();
     }
     ValidationRow {
@@ -179,9 +183,12 @@ pub fn check_queueing_growth() -> ValidationRow {
     // Measure the fixed service time from an isolated request.
     let mut probe = make();
     let r0 = IoRequest::new(0, SimTime::ZERO, 0, 1, IoKind::Read);
-    let f = probe.submit(r0, SimTime::ZERO).expect("idle");
+    let f = probe
+        .submit(r0, SimTime::ZERO)
+        .expect("probe submits at arrival")
+        .expect("idle");
     let service_ms = (f - SimTime::ZERO).as_millis();
-    let _ = probe.complete(f);
+    let _ = probe.complete(f).expect("probe completes at promised time");
 
     // Run at two utilizations with Poisson arrivals.
     let run = |rho: f64, seed: u64| -> f64 {

@@ -136,14 +136,15 @@ impl SegmentedCache {
                 None => {
                     if self.segments.len() == self.max_segments {
                         // Evict the least recently used segment.
-                        let lru = self
+                        if let Some(lru) = self
                             .segments
                             .iter()
                             .enumerate()
                             .min_by_key(|(_, s)| s.last_use)
                             .map(|(i, _)| i)
-                            .expect("cache is non-empty here");
-                        self.segments.swap_remove(lru);
+                        {
+                            self.segments.swap_remove(lru);
+                        }
                     }
                     self.segments.push(Segment {
                         start: seg,

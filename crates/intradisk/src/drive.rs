@@ -10,7 +10,7 @@
 //! benefit coming entirely from *which* arm is dispatched and how little
 //! it has to move and wait.
 
-use diskmodel::{DiskParams, PowerModel};
+use diskmodel::{DiskParams, DriveError, PowerModel};
 use simkit::{SimDuration, SimTime};
 
 use crate::cache::SegmentedCache;
@@ -218,46 +218,69 @@ impl DiskDrive {
     /// Requests addressing beyond the device are wrapped modulo the
     /// capacity, as trace-replay tools conventionally do.
     ///
-    /// # Panics
-    /// Panics if `now < req.arrival`.
-    pub fn submit(&mut self, mut req: IoRequest, now: SimTime) -> Option<SimTime> {
-        assert!(now >= req.arrival, "submit before arrival");
+    /// # Errors
+    /// Returns [`DriveError::SubmitBeforeArrival`] if `now <
+    /// req.arrival`, or [`DriveError::NoLiveArm`] if every assembly has
+    /// failed.
+    pub fn submit(
+        &mut self,
+        mut req: IoRequest,
+        now: SimTime,
+    ) -> Result<Option<SimTime>, DriveError> {
+        if now < req.arrival {
+            return Err(DriveError::SubmitBeforeArrival {
+                arrival: req.arrival,
+                now,
+            });
+        }
         if req.lba >= self.capacity {
             req.lba %= self.capacity;
         }
         if self.in_service.is_some() {
             self.queue.push(req);
-            return None;
+            return Ok(None);
         }
         // Close the idle span that ends now.
         close_idle_span(&mut self.metrics.modes, self.idle_since, now);
-        Some(self.start_service(req, now))
+        Ok(Some(self.start_service(req, now)?))
     }
 
     /// Completes the in-service request (must be called exactly at the
     /// completion time previously returned). Returns the completion
     /// record and, if another request was started, its completion time.
     ///
-    /// # Panics
-    /// Panics if no request is in service or `now` is not the promised
-    /// completion time.
-    pub fn complete(&mut self, now: SimTime) -> (CompletedIo, Option<SimTime>) {
-        let srv = self.in_service.take().expect("no request in service");
-        assert_eq!(srv.finish, now, "complete() at the wrong time");
+    /// # Errors
+    /// Returns [`DriveError::NotInService`] if no request is in
+    /// service, or [`DriveError::WrongCompletionTime`] if `now` is not
+    /// the promised completion time (the in-service request is left
+    /// untouched in that case).
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(CompletedIo, Option<SimTime>), DriveError> {
+        let srv = match self.in_service.take() {
+            Some(srv) => srv,
+            None => return Err(DriveError::NotInService),
+        };
+        if srv.finish != now {
+            let promised = srv.finish;
+            self.in_service = Some(srv);
+            return Err(DriveError::WrongCompletionTime { promised, at: now });
+        }
         if let Some((lba, sectors)) = srv.install {
             self.cache.install(lba, sectors);
         }
         self.metrics.record(&srv.done);
 
-        let next = self.dispatch_next(now);
+        let next = self.dispatch_next(now)?;
         if next.is_none() {
             self.idle_since = now;
         }
-        (srv.done, next)
+        Ok((srv.done, next))
     }
 
     /// Chooses and starts the next queued request, if any.
-    fn dispatch_next(&mut self, now: SimTime) -> Option<SimTime> {
+    fn dispatch_next(&mut self, now: SimTime) -> Result<Option<SimTime>, DriveError> {
         let policy = self.config.policy;
         let scaling = self.config.scaling;
         // Borrow pieces separately for the cost closure.
@@ -296,12 +319,18 @@ impl DiskDrive {
                 }
             }
         };
-        let next = self.queue.pop_next(policy, cost)?;
-        Some(self.start_service(next, now))
+        let Some(next) = self.queue.pop_next(policy, cost) else {
+            return Ok(None);
+        };
+        Ok(Some(self.start_service(next, now)?))
     }
 
     /// Starts servicing `req` at `now`; returns the completion time.
-    fn start_service(&mut self, req: IoRequest, now: SimTime) -> SimTime {
+    fn start_service(
+        &mut self,
+        req: IoRequest,
+        now: SimTime,
+    ) -> Result<SimTime, DriveError> {
         let queue_wait = now.saturating_since(req.arrival);
         let overhead = self.overhead;
 
@@ -334,7 +363,7 @@ impl DiskDrive {
                 finish,
                 install: None,
             });
-            return finish;
+            return Ok(finish);
         }
 
         if req.kind == IoKind::Write {
@@ -348,7 +377,7 @@ impl DiskDrive {
             req.sectors,
             now + overhead,
             self.config.scaling,
-        );
+        )?;
         let finish = now + overhead + plan.total();
 
         self.arms[plan.actuator as usize].cylinder = plan.end_cylinder;
@@ -380,7 +409,7 @@ impl DiskDrive {
             finish,
             install: req.kind.is_read().then_some((req.lba, req.sectors)),
         });
-        finish
+        Ok(finish)
     }
 
     /// Closes accounting at the end of a run: the span from the last
@@ -431,11 +460,13 @@ mod tests {
             if take_arrival {
                 let r = arrivals[ai];
                 ai += 1;
-                if let Some(f) = drive.submit(r, r.arrival) {
+                if let Some(f) = drive.submit(r, r.arrival).expect("valid submit") {
                     completion = Some(f);
                 }
             } else {
-                let (d, next) = drive.complete(completion.expect("completion pending"));
+                let (d, next) = drive
+                    .complete(completion.expect("completion pending"))
+                    .expect("valid complete");
                 done.push(d);
                 completion = next;
             }
@@ -461,9 +492,12 @@ mod tests {
     fn single_request_lifecycle() {
         let mut d = drive(1);
         let req = IoRequest::new(0, SimTime::ZERO, 123_456, 8, IoKind::Read);
-        let finish = d.submit(req, SimTime::ZERO).expect("idle drive starts");
+        let finish = d
+            .submit(req, SimTime::ZERO)
+            .expect("valid submit")
+            .expect("idle drive starts");
         assert!(finish > SimTime::ZERO);
-        let (done, next) = d.complete(finish);
+        let (done, next) = d.complete(finish).expect("valid complete");
         assert!(next.is_none());
         assert_eq!(done.request.id, 0);
         assert!(!done.cache_hit);
@@ -476,11 +510,11 @@ mod tests {
     fn second_read_same_block_hits_cache() {
         let mut d = drive(1);
         let r0 = IoRequest::new(0, SimTime::ZERO, 1000, 8, IoKind::Read);
-        let f0 = d.submit(r0, SimTime::ZERO).unwrap();
-        let _ = d.complete(f0);
+        let f0 = d.submit(r0, SimTime::ZERO).unwrap().unwrap();
+        let _ = d.complete(f0).unwrap();
         let r1 = IoRequest::new(1, f0, 1000, 8, IoKind::Read);
-        let f1 = d.submit(r1, f0).unwrap();
-        let (done, _) = d.complete(f1);
+        let f1 = d.submit(r1, f0).unwrap().unwrap();
+        let (done, _) = d.complete(f1).unwrap();
         assert!(done.cache_hit);
         assert!(done.breakdown.service_time() < SimDuration::from_millis(1.0));
     }
@@ -489,15 +523,15 @@ mod tests {
     fn write_then_read_misses_after_invalidate() {
         let mut d = drive(1);
         let r0 = IoRequest::new(0, SimTime::ZERO, 1000, 8, IoKind::Read);
-        let f0 = d.submit(r0, SimTime::ZERO).unwrap();
-        let _ = d.complete(f0);
+        let f0 = d.submit(r0, SimTime::ZERO).unwrap().unwrap();
+        let _ = d.complete(f0).unwrap();
         let w = IoRequest::new(1, f0, 1000, 8, IoKind::Write);
-        let f1 = d.submit(w, f0).unwrap();
-        let (wd, _) = d.complete(f1);
+        let f1 = d.submit(w, f0).unwrap().unwrap();
+        let (wd, _) = d.complete(f1).unwrap();
         assert!(!wd.cache_hit, "writes always reach media");
         let r2 = IoRequest::new(2, f1, 1000, 8, IoKind::Read);
-        let f2 = d.submit(r2, f1).unwrap();
-        let (rd, _) = d.complete(f2);
+        let f2 = d.submit(r2, f1).unwrap().unwrap();
+        let (rd, _) = d.complete(f2).unwrap();
         assert!(!rd.cache_hit, "write invalidated the segment");
     }
 
@@ -686,14 +720,42 @@ mod tests {
         let mut d = drive(1);
         let cap = d.capacity_sectors();
         let req = IoRequest::new(0, SimTime::ZERO, cap + 5, 8, IoKind::Read);
-        let f = d.submit(req, SimTime::ZERO).unwrap();
-        let (done, _) = d.complete(f);
+        let f = d.submit(req, SimTime::ZERO).unwrap().unwrap();
+        let (done, _) = d.complete(f).unwrap();
         assert_eq!(done.request.lba, 5);
     }
 
     #[test]
-    #[should_panic(expected = "no request in service")]
-    fn complete_when_idle_panics() {
-        drive(1).complete(SimTime::ZERO);
+    fn complete_when_idle_is_typed_error() {
+        let err = drive(1).complete(SimTime::ZERO).unwrap_err();
+        assert_eq!(err, DriveError::NotInService);
+    }
+
+    #[test]
+    fn complete_at_wrong_time_is_typed_error_and_recoverable() {
+        let mut d = drive(1);
+        let req = IoRequest::new(0, SimTime::ZERO, 123_456, 8, IoKind::Read);
+        let finish = d.submit(req, SimTime::ZERO).unwrap().unwrap();
+        let early = SimTime::from_millis(finish.as_millis() / 2.0);
+        let err = d.complete(early).unwrap_err();
+        assert_eq!(
+            err,
+            DriveError::WrongCompletionTime {
+                promised: finish,
+                at: early
+            }
+        );
+        // The request stays in service; completing at the right time works.
+        let (done, _) = d.complete(finish).unwrap();
+        assert_eq!(done.request.id, 0);
+    }
+
+    #[test]
+    fn submit_before_arrival_is_typed_error() {
+        let mut d = drive(1);
+        let req = IoRequest::new(0, SimTime::from_millis(5.0), 64, 8, IoKind::Read);
+        let err = d.submit(req, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, DriveError::SubmitBeforeArrival { .. }));
+        assert!(d.is_idle(), "rejected request must not enter the queue");
     }
 }

@@ -179,13 +179,19 @@ pub fn replay(params: &DiskParams, config: DrpmConfig, requests: &[IoRequest]) -
                 mech.positioning_for_arm(&arm_ref, r.lba % capacity, start, LatencyScaling::none());
             s + rot
         };
-        let req = queue
-            .pop_next(QueuePolicy::Sptf, cost)
-            .expect("queue checked non-empty");
+        // The queue was checked non-empty above and the single arm is
+        // never deconfigured, so neither of these can miss; bail out of
+        // the replay rather than panic if the invariant is ever broken.
+        let Some(req) = queue.pop_next(QueuePolicy::Sptf, cost) else {
+            break;
+        };
         let lba = req.lba % capacity;
-        let plan = speed
+        let Ok(plan) = speed
             .mech
-            .plan(std::slice::from_ref(&arm), lba, req.sectors, start, LatencyScaling::none());
+            .plan(std::slice::from_ref(&arm), lba, req.sectors, start, LatencyScaling::none())
+        else {
+            break;
+        };
         let finish = start + plan.total();
         // Energy: overhead+rotation at idle level, seek with VCM,
         // transfer with channel.

@@ -39,12 +39,12 @@
 //!     // 200 back-to-back scattered reads.
 //!     for i in 0..200u64 {
 //!         let req = IoRequest::new(i, SimTime::ZERO, (i * 7_919_993) % 1_000_000_000, 8, IoKind::Read);
-//!         if let Some(done) = drive.submit(req, SimTime::ZERO) {
+//!         if let Some(done) = drive.submit(req, SimTime::ZERO).expect("valid submit") {
 //!             events.push(done, ());
 //!         }
 //!     }
 //!     while let Some(ev) = events.pop() {
-//!         let (_, next) = drive.complete(ev.time);
+//!         let (_, next) = drive.complete(ev.time).expect("valid complete");
 //!         if let Some(t) = next {
 //!             events.push(t, ());
 //!         }

@@ -317,12 +317,14 @@ impl OverlappedDrive {
                 .rotation()
                 .wait_until_under(angle, self.arms[a].azimuth, channel_gate);
             let transfer_start = channel_gate + rot;
-            if best.is_none() || transfer_start < best.as_ref().expect("some").4 {
+            if best.map_or(true, |b| transfer_start < b.4) {
                 best = Some((a, seek_start, seek, rot, transfer_start));
             }
         }
+        // Invariant: dispatch() verified an idle live arm exists before
+        // popping the queue, so the loop found a candidate.
         let (arm, seek_start, seek, _rot, transfer_start) =
-            best.expect("dispatch only runs with an idle live arm");
+            best.expect("dispatch only runs with an idle live arm"); // simlint: allow(no-panic-in-lib)
 
         let transfer = self.mech.transfer_time(req.lba % self.capacity, req.sectors);
         let finish = transfer_start + transfer;
@@ -417,7 +419,7 @@ pub fn replay(
                 events.push(std::cmp::Reverse(t));
             }
         } else {
-            let t = next_event.expect("event pending");
+            let Some(t) = next_event else { break };
             // Drain duplicates for the same instant.
             while events.peek() == Some(&std::cmp::Reverse(t)) {
                 events.pop();
@@ -537,11 +539,13 @@ mod tests {
             if take {
                 let r = reqs[i];
                 i += 1;
-                if let Some(f) = seq.submit(r, r.arrival) {
+                if let Some(f) = seq.submit(r, r.arrival).expect("valid submit") {
                     completion = Some(f);
                 }
             } else {
-                let (_, next) = seq.complete(completion.expect("pending"));
+                let (_, next) = seq
+                    .complete(completion.expect("pending"))
+                    .expect("valid complete");
                 completion = next;
             }
         }

@@ -92,9 +92,11 @@ impl PendingQueue {
             QueuePolicy::Fcfs => 0,
             QueuePolicy::Sstf | QueuePolicy::Sptf => {
                 let scan = self.window.min(self.queue.len());
+                // The queue (and so the window) is non-empty here; fall
+                // back to head-of-line rather than panic.
                 (0..scan)
                     .min_by_key(|&i| cost(&self.queue[i]))
-                    .expect("scan window is non-empty")
+                    .unwrap_or(0)
             }
         };
         self.queue.remove(idx)
@@ -178,7 +180,7 @@ mod tests {
         for i in 0..100 {
             q.push(req(i, (i * 37) % 64));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         while let Some(r) =
             q.pop_next(QueuePolicy::Sptf, |r| SimDuration::from_millis(r.lba as f64))
         {

@@ -8,7 +8,7 @@
 //! differs both in its seek and its rotational component, and the
 //! dispatcher picks the arm minimizing the sum (§7.2).
 
-use diskmodel::{Geometry, RotationModel, SeekProfile};
+use diskmodel::{DriveError, Geometry, RotationModel, SeekProfile};
 use simkit::{SimDuration, SimTime};
 
 /// Scaling knobs of the limit study's bottleneck analysis (Figure 4):
@@ -229,7 +229,7 @@ impl Mechanics {
                 self.rotation.wait_until_under(angle, azimuth, start + seek)
             })
             .min()
-            .expect("heads >= 1")
+            .unwrap_or(SimDuration::ZERO)
             .scale(scaling.rotational);
         (seek, rot)
     }
@@ -264,8 +264,11 @@ impl Mechanics {
     /// Plans service of `(lba, sectors)` starting at `start`: picks the
     /// live assembly with minimum positioning time.
     ///
+    /// # Errors
+    /// Returns [`DriveError::NoLiveArm`] if every assembly has failed.
+    ///
     /// # Panics
-    /// Panics if every assembly has failed.
+    /// Panics if `heads == 0`.
     pub fn plan(
         &self,
         arms: &[ArmState],
@@ -273,15 +276,18 @@ impl Mechanics {
         sectors: u32,
         start: SimTime,
         scaling: LatencyScaling,
-    ) -> ServicePlan {
+    ) -> Result<ServicePlan, DriveError> {
         self.plan_with_heads(arms, 1, lba, sectors, start, scaling)
     }
 
     /// Like [`plan`](Self::plan) for arms carrying `heads` heads per
     /// surface (the `D1 An S1 Hm` family).
     ///
+    /// # Errors
+    /// Returns [`DriveError::NoLiveArm`] if every assembly has failed.
+    ///
     /// # Panics
-    /// Panics if every assembly has failed or `heads == 0`.
+    /// Panics if `heads == 0`.
     pub fn plan_with_heads(
         &self,
         arms: &[ArmState],
@@ -290,7 +296,7 @@ impl Mechanics {
         sectors: u32,
         start: SimTime,
         scaling: LatencyScaling,
-    ) -> ServicePlan {
+    ) -> Result<ServicePlan, DriveError> {
         let (best_idx, seek, rot) = arms
             .iter()
             .enumerate()
@@ -300,20 +306,20 @@ impl Mechanics {
                 (i, s, r)
             })
             .min_by_key(|&(_, s, r)| s + r)
-            .expect("no live arm assembly");
+            .ok_or(DriveError::NoLiveArm)?;
         let transfer = self.transfer_time(lba, sectors);
         let segs = self.geometry.segments(lba, sectors);
         let end_cylinder = segs
             .last()
             .map(|s| s.start.cylinder)
             .unwrap_or_else(|| self.geometry.locate(lba.min(self.geometry.total_sectors() - 1)).cylinder);
-        ServicePlan {
+        Ok(ServicePlan {
             actuator: best_idx as u32,
             seek,
             rotational: rot,
             transfer,
             end_cylinder,
-        }
+        })
     }
 
     /// Equally spaced azimuths for `n` assemblies (Figure 1 places two
@@ -389,7 +395,7 @@ mod tests {
                 failed: false,
             },
         ];
-        let plan = m.plan(&arms, target, 8, SimTime::ZERO, LatencyScaling::none());
+        let plan = m.plan(&arms, target, 8, SimTime::ZERO, LatencyScaling::none()).unwrap();
         assert_eq!(plan.actuator, 1);
         assert_eq!(plan.seek, SimDuration::ZERO);
     }
@@ -411,21 +417,23 @@ mod tests {
                 failed: true,
             },
         ];
-        let plan = m.plan(&arms, target, 8, SimTime::ZERO, LatencyScaling::none());
+        let plan = m.plan(&arms, target, 8, SimTime::ZERO, LatencyScaling::none()).unwrap();
         assert_eq!(plan.actuator, 0);
         assert!(plan.seek > SimDuration::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "no live arm")]
-    fn all_failed_panics() {
+    fn all_failed_is_typed_error() {
         let m = mech();
         let arms = vec![ArmState {
             azimuth: 0.0,
             cylinder: 0,
             failed: true,
         }];
-        m.plan(&arms, 0, 8, SimTime::ZERO, LatencyScaling::none());
+        let err = m
+            .plan(&arms, 0, 8, SimTime::ZERO, LatencyScaling::none())
+            .unwrap_err();
+        assert_eq!(err, DriveError::NoLiveArm);
     }
 
     #[test]
@@ -437,8 +445,8 @@ mod tests {
             for i in 0..50u64 {
                 let lba = (i * 16_777_213) % m.geometry().total_sectors();
                 let t = SimTime::from_millis(i as f64 * 0.93);
-                let p_n = m.plan(&arms_n, lba, 8, t, LatencyScaling::none());
-                let p_1 = m.plan(&arms_1, lba, 8, t, LatencyScaling::none());
+                let p_n = m.plan(&arms_n, lba, 8, t, LatencyScaling::none()).unwrap();
+                let p_1 = m.plan(&arms_1, lba, 8, t, LatencyScaling::none()).unwrap();
                 assert!(
                     p_n.positioning() <= p_1.positioning(),
                     "n={n} lba={lba}: {} > {}",
@@ -466,7 +474,7 @@ mod tests {
                     ..*a
                 })
                 .collect();
-            let p = m.plan(&parked, lba, 1, SimTime::from_millis(i as f64 * 1.31), LatencyScaling::none());
+            let p = m.plan(&parked, lba, 1, SimTime::from_millis(i as f64 * 1.31), LatencyScaling::none()).unwrap();
             assert!(
                 p.rotational.as_millis() <= quarter + 1e-3,
                 "rot {} > quarter {quarter}",
@@ -527,8 +535,8 @@ mod tests {
                 arms.iter().map(|a| ArmState { cylinder: cyl, ..*a }).collect()
             };
             let now = SimTime::from_millis(i as f64 * 1.17);
-            let ps = m.plan(&park(&spaced), lba, 1, now, LatencyScaling::none());
-            let pc = m.plan(&park(&stacked), lba, 1, now, LatencyScaling::none());
+            let ps = m.plan(&park(&spaced), lba, 1, now, LatencyScaling::none()).unwrap();
+            let pc = m.plan(&park(&stacked), lba, 1, now, LatencyScaling::none()).unwrap();
             assert!(ps.rotational <= pc.rotational, "spaced worse at {i}");
             spaced_total += ps.rotational.as_millis();
             stacked_total += pc.rotational.as_millis();

@@ -196,11 +196,13 @@ fn drain(drive: &mut DiskDrive, reqs: &[IoRequest]) -> u64 {
         if take {
             let r = reqs[i];
             i += 1;
-            if let Some(f) = drive.submit(r, r.arrival) {
+            if let Some(f) = drive.submit(r, r.arrival).expect("submit at arrival") {
                 completion = Some(f);
             }
         } else {
-            let (c, next) = drive.complete(completion.expect("pending"));
+            let (c, next) = drive
+                .complete(completion.expect("pending"))
+                .expect("complete at promised time");
             assert!(c.completed >= c.request.arrival, "completed before arrival");
             done += 1;
             completion = next;

@@ -148,6 +148,9 @@ impl Cdf {
             .edges
             .iter()
             .position(|&e| (e - edge).abs() < 1e-9)
+            // Documented panic contract: querying an unconfigured edge
+            // is a caller bug, not a recoverable state.
+            // simlint: allow(no-panic-in-lib)
             .unwrap_or_else(|| panic!("{edge} is not a CDF edge"));
         self.cumulative[i]
     }

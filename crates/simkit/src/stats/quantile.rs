@@ -61,7 +61,7 @@ impl P2Quantile {
             self.count += 1;
             if self.count == 5 {
                 self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                    .sort_by(f64::total_cmp);
             }
             return;
         }
@@ -135,7 +135,7 @@ impl P2Quantile {
         if self.count < 5 {
             // Nearest-rank over what we have.
             let mut v: Vec<f64> = self.heights[..self.count].to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v.sort_by(f64::total_cmp);
             let rank = ((self.p * self.count as f64).ceil() as usize).clamp(1, self.count);
             return v[rank - 1];
         }

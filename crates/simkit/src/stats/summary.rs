@@ -79,7 +79,7 @@ impl Summary {
         }
         if !self.sorted {
             self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+                .sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;

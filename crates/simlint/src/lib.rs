@@ -1,0 +1,208 @@
+//! simlint — determinism & unit-safety static analysis for the
+//! simulator workspace.
+//!
+//! The evaluation in this repository is a trace-driven simulation
+//! study: its results are only meaningful if runs are bit-for-bit
+//! reproducible. Nothing in the language stops a contributor from
+//! introducing `HashMap` iteration order, wall-clock time, or a stray
+//! `unwrap()` into the event loop — so this tool does, as an in-tree
+//! lint (the registry mirror is unreachable; external lint crates are
+//! off the table, following the `testkit` precedent).
+//!
+//! The pipeline: a hand-rolled [`lexer`] turns each `.rs` file into a
+//! token stream with strings and comments handled correctly; [`scope`]
+//! marks `#[cfg(test)]` / `mod tests` regions, parses the
+//! `// simlint: allow(<rule>)` allowlist, and classifies files by
+//! crate and role; [`rules`] holds the six determinism rules. This
+//! module glues them into a workspace walk with structured
+//! `file:line:col: rule: message` diagnostics.
+//!
+//! Run it as a workspace binary:
+//!
+//! ```text
+//! cargo run --release -p simlint -- --deny-all
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::tokenize;
+use rules::{check, rule_applies, Finding, RuleInfo, RULES};
+use scope::{allow_map, classify, in_test, test_spans, FileClass};
+
+/// Lints one file's source text under an explicit classification.
+///
+/// This is the unit the fixture tests drive directly; the workspace
+/// walk calls it per file. Findings suppressed by the in-source
+/// allowlist are dropped; test regions never produce findings.
+pub fn lint_source(
+    file: &str,
+    source: &str,
+    class: &FileClass,
+    enabled: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let toks = tokenize(source);
+    let spans = test_spans(&toks);
+    let allows = allow_map(&toks);
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !enabled.contains(rule.name) || !rule_applies(rule, class) {
+            continue;
+        }
+        let skip = |i: usize| in_test(&spans, i);
+        for f in check(rule, file, &toks, &skip) {
+            let allowed = allows
+                .get(&f.line)
+                .map(|set| set.contains(rule.name) || set.contains("all"))
+                .unwrap_or(false);
+            if !allowed {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping build
+/// output, VCS metadata, and simlint's own deliberately-violating
+/// fixtures. Sorted for deterministic reporting.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if matches!(name, "target" | ".git" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All surviving findings, ordered by file then position.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every Rust source under `root` with the `enabled` rules.
+pub fn lint_workspace(root: &Path, enabled: &BTreeSet<String>) -> io::Result<Report> {
+    let mut findings = Vec::new();
+    let sources = collect_sources(root)?;
+    let files_scanned = sources.len();
+    for path in sources {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let class = classify(&rel);
+        let source = fs::read_to_string(&path)?;
+        let label = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&label, &source, &class, enabled));
+    }
+    Ok(Report { findings, files_scanned })
+}
+
+/// The default rule set: every rule enabled.
+pub fn all_rules() -> BTreeSet<String> {
+    RULES.iter().map(|r| r.name.to_string()).collect()
+}
+
+/// Looks up rule metadata by name (re-exported for the CLI).
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    rules::rule_by_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope::FileKind;
+
+    fn lib_class(krate: &str) -> FileClass {
+        FileClass { crate_name: krate.into(), kind: FileKind::Lib }
+    }
+
+    #[test]
+    fn findings_filtered_by_allowlist_and_region() {
+        let src = "\
+use std::collections::HashMap;
+let keep = std::collections::HashMap::new(); // simlint: allow(no-unordered-iteration)
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}
+";
+        let f = lint_source("x.rs", src, &lib_class("simkit"), &all_rules());
+        assert_eq!(f.len(), 1, "only the first HashMap should survive: {f:?}");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].rule, "no-unordered-iteration");
+    }
+
+    #[test]
+    fn disabled_rule_is_silent() {
+        let mut enabled = all_rules();
+        enabled.remove("no-unordered-iteration");
+        let f = lint_source(
+            "x.rs",
+            "use std::collections::HashMap;",
+            &lib_class("simkit"),
+            &enabled,
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_silent() {
+        let f = lint_source(
+            "x.rs",
+            "use std::collections::HashMap; let t = Instant::now();",
+            &lib_class("testkit"),
+            &all_rules(),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn findings_are_position_sorted() {
+        let src = "let b = y.unwrap();\nlet a = std::time::Instant::now();\n";
+        let f = lint_source("x.rs", src, &lib_class("intradisk"), &all_rules());
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+    }
+
+    #[test]
+    fn display_format_is_structured() {
+        let f = lint_source(
+            "crates/simkit/src/event.rs",
+            "let t = Instant::now();",
+            &lib_class("simkit"),
+            &all_rules(),
+        );
+        let line = f[0].to_string();
+        assert!(
+            line.starts_with("crates/simkit/src/event.rs:1:9: no-wall-clock:"),
+            "unexpected diagnostic format: {line}"
+        );
+    }
+}

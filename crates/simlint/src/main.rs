@@ -1,0 +1,137 @@
+//! CLI entry point: `cargo run --release -p simlint -- [FLAGS]`.
+//!
+//! Exit status: `0` when no denied finding survives the allowlist,
+//! `1` when denied findings exist, `2` on usage or I/O errors. Without
+//! `--deny-all`/`--deny`, findings are advisory (reported, exit 0), so
+//! the tool can be run loosely during development while
+//! `scripts/verify.sh` gates on `--deny-all`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::rules::RULES;
+use simlint::{all_rules, lint_workspace, rule_info};
+
+const USAGE: &str = "\
+simlint — determinism & unit-safety lints for the simulator workspace
+
+USAGE:
+    simlint [OPTIONS] [ROOT]
+
+OPTIONS:
+    --deny-all        exit non-zero if any enabled rule fires
+    --deny <RULE>     exit non-zero if <RULE> fires (repeatable)
+    --allow <RULE>    disable <RULE> entirely (repeatable)
+    --list-rules      print the rule set and exit
+    -h, --help        print this help
+
+ROOT defaults to the workspace root (located by walking up from the
+current directory to the first Cargo.toml containing [workspace]).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut enabled = all_rules();
+    let mut denied: BTreeSet<String> = BTreeSet::new();
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--deny" | "--allow" => {
+                let Some(rule) = it.next() else {
+                    eprintln!("simlint: {arg} requires a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if rule_info(rule).is_none() {
+                    eprintln!("simlint: unknown rule `{rule}`; try --list-rules");
+                    return ExitCode::from(2);
+                }
+                if arg == "--deny" {
+                    denied.insert(rule.clone());
+                } else {
+                    enabled.remove(rule);
+                }
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<26} [{}] {}", r.name, r.crates.join(", "), r.desc);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("simlint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (pass one explicitly)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, &enabled) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut denied_count = 0usize;
+    for f in &report.findings {
+        let is_denied = deny_all || denied.contains(f.rule);
+        if is_denied {
+            denied_count += 1;
+        }
+        println!("{f}{}", if is_denied { "" } else { " (advisory)" });
+    }
+    if report.findings.is_empty() {
+        println!(
+            "simlint: clean ({} files, {} rules)",
+            report.files_scanned,
+            enabled.len()
+        );
+    } else {
+        println!(
+            "simlint: {} finding(s), {} denied, across {} files",
+            report.findings.len(),
+            denied_count,
+            report.files_scanned
+        );
+    }
+    if denied_count > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

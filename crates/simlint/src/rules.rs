@@ -1,0 +1,412 @@
+//! The simulation-specific rule set.
+//!
+//! Each rule is individually toggleable and scoped to the crates where
+//! it is meaningful: the event-driven simulator state lives in
+//! `simkit`/`diskmodel`/`intradisk`/`array`/`workload`, and the
+//! experiment harness (`experiments`) shares the determinism contract
+//! but is allowed to panic on internal errors. `bench` measures
+//! wall-clock time by design and `testkit`/`simlint` are tooling, so
+//! none of the rules apply there.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::{FileClass, FileKind};
+
+/// Crates whose code executes inside (or drives) a simulation.
+pub const SIM_CRATES: &[&str] = &[
+    "simkit",
+    "diskmodel",
+    "intradisk",
+    "array",
+    "workload",
+    "experiments",
+];
+
+/// Crates holding simulator *state*, where iteration order and panics
+/// directly threaten reproducibility of results.
+pub const CORE_CRATES: &[&str] = &["simkit", "diskmodel", "intradisk", "array", "workload"];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name as used on the CLI and in allow comments.
+    pub name: &'static str,
+    /// Crates the rule applies to.
+    pub crates: &'static [&'static str],
+    /// If true, only library sources are checked (bins excluded).
+    pub lib_only: bool,
+    /// One-line rationale.
+    pub desc: &'static str,
+}
+
+/// Every rule simlint knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "no-wall-clock",
+        crates: SIM_CRATES,
+        lib_only: false,
+        desc: "std::time::Instant/SystemTime in simulation code breaks bit-for-bit replay; \
+               use simkit::SimTime and the event calendar",
+    },
+    RuleInfo {
+        name: "no-unordered-iteration",
+        crates: CORE_CRATES,
+        lib_only: false,
+        desc: "HashMap/HashSet iteration order is randomized per process; simulator state \
+               must use BTreeMap/BTreeSet (or another ordered container)",
+    },
+    RuleInfo {
+        name: "no-ambient-rng",
+        crates: SIM_CRATES,
+        lib_only: false,
+        desc: "randomness must be threaded from simkit::rng::Rng64 (seeded, forkable); \
+               ambient generators make runs irreproducible",
+    },
+    RuleInfo {
+        name: "no-panic-in-lib",
+        crates: CORE_CRATES,
+        lib_only: true,
+        desc: "unwrap/expect/panic! in core library code aborts whole experiments; \
+               return a typed error (diskmodel::error) instead",
+    },
+    RuleInfo {
+        name: "no-float-eq",
+        crates: SIM_CRATES,
+        lib_only: false,
+        desc: "==/!= on floats is platform- and optimization-sensitive; compare with an \
+               explicit tolerance (testkit::golden) or restructure",
+    },
+    RuleInfo {
+        name: "unit-suffix-consistency",
+        crates: SIM_CRATES,
+        lib_only: false,
+        desc: "adding or comparing identifiers with different unit suffixes (_ms/_us/_ns/\
+               _sectors/_lba/_bytes) is almost always a unit bug",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// True if `rule` applies to a file of this class at all.
+pub fn rule_applies(rule: &RuleInfo, class: &FileClass) -> bool {
+    if class.is_test_like() {
+        return false;
+    }
+    if rule.lib_only && class.kind != FileKind::Lib {
+        return false;
+    }
+    rule.crates.iter().any(|c| *c == class.crate_name)
+}
+
+/// Identifiers that name a wall-clock time source.
+const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Identifiers that name an ambient (unseeded or process-randomized)
+/// RNG or randomized hasher.
+const AMBIENT_RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "StdRng",
+    "SmallRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "DefaultHasher",
+];
+
+/// Unit suffixes recognised by `unit-suffix-consistency`.
+const UNIT_SUFFIXES: &[&str] = &["ms", "us", "ns", "sectors", "lba", "bytes"];
+
+/// Operators that require both operands in the same unit.
+const SAME_UNIT_OPS: &[&str] = &["+", "-", "<", ">", "<=", ">=", "==", "!=", "+=", "-="];
+
+/// Offset arithmetic: an `_lba` (sector index) plus/minus a `_sectors`
+/// (sector count) is well-formed pointer+offset math, so the pair is
+/// compatible under additive operators — but not under comparisons.
+const OFFSET_PAIR: (&str, &str) = ("lba", "sectors");
+
+/// Runs `rule` over the token stream of one file. `skip` marks token
+/// indices to ignore (test regions); allowlist filtering happens in the
+/// engine, which knows line numbers.
+pub fn check(rule: &RuleInfo, file: &str, toks: &[Tok], skip: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |t: &Tok, message: String| {
+        out.push(Finding {
+            file: file.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: rule.name,
+            message,
+        });
+    };
+    match rule.name {
+        "no-wall-clock" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                if t.kind == TokKind::Ident && WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
+                    push(
+                        t,
+                        format!(
+                            "wall-clock source `{}`; simulation code must use simkit::SimTime",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        "no-unordered-iteration" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    let ordered = if t.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                    push(
+                        t,
+                        format!(
+                            "`{}` has randomized iteration order; use `{}` in simulator state",
+                            t.text, ordered
+                        ),
+                    );
+                }
+            }
+        }
+        "no-ambient-rng" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                let ambient = t.kind == TokKind::Ident
+                    && AMBIENT_RNG_IDENTS.contains(&t.text.as_str());
+                // A path starting `rand::` (the external crate).
+                let rand_path = t.is_ident("rand")
+                    && toks.get(i + 1).map(|n| n.is_op("::")).unwrap_or(false);
+                if ambient || rand_path {
+                    push(
+                        t,
+                        format!(
+                            "ambient RNG `{}`; thread a forked simkit::rng::Rng64 stream instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        "no-panic-in-lib" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                // `.unwrap(` / `.expect(` as method calls.
+                if (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && i > 0
+                    && toks[i - 1].is_op(".")
+                    && toks.get(i + 1).map(|n| n.is_op("(")).unwrap_or(false)
+                {
+                    push(
+                        t,
+                        format!(
+                            "`.{}()` in core library code; return a typed error \
+                             (diskmodel::error::DriveError) or restructure",
+                            t.text
+                        ),
+                    );
+                }
+                // `panic!(`, `todo!(`, `unimplemented!(`.
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                    && toks.get(i + 1).map(|n| n.is_op("!")).unwrap_or(false)
+                {
+                    push(
+                        t,
+                        format!("`{}!` in core library code; return a typed error instead", t.text),
+                    );
+                }
+            }
+        }
+        "no-float-eq" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                if !(t.is_op("==") || t.is_op("!=")) {
+                    continue;
+                }
+                let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+                let next_float = toks.get(i + 1).map(|n| n.kind == TokKind::Float).unwrap_or(false);
+                if prev_float || next_float {
+                    push(
+                        t,
+                        format!(
+                            "`{}` against a float literal; compare with an explicit tolerance \
+                             (or testkit::golden::assert_close)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        "unit-suffix-consistency" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                if !(t.kind == TokKind::Op && SAME_UNIT_OPS.contains(&t.text.as_str())) {
+                    continue;
+                }
+                let (Some(prev), Some(next)) = (
+                    i.checked_sub(1).map(|j| &toks[j]),
+                    toks.get(i + 1),
+                ) else {
+                    continue;
+                };
+                let (Some(a), Some(b)) = (unit_suffix(prev), unit_suffix(next)) else {
+                    continue;
+                };
+                let additive = matches!(t.text.as_str(), "+" | "-" | "+=" | "-=");
+                let offset_math = additive
+                    && ((a, b) == OFFSET_PAIR || (b, a) == OFFSET_PAIR);
+                if a != b && !offset_math {
+                    push(
+                        t,
+                        format!(
+                            "`{}` mixes units: `{}` is in {} but `{}` is in {}",
+                            t.text, prev.text, a, next.text, b
+                        ),
+                    );
+                }
+            }
+        }
+        other => {
+            // Unknown rules are a programming error in the registry,
+            // not a user input: RULES is the single source of truth.
+            debug_assert!(false, "unknown rule {other}");
+        }
+    }
+    out
+}
+
+/// The unit suffix of an identifier (`arrival_ms` -> `ms`), if any.
+fn unit_suffix(t: &Tok) -> Option<&'static str> {
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let tail = t.text.rsplit('_').next()?;
+    UNIT_SUFFIXES.iter().find(|u| **u == tail).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(rule: &str, src: &str) -> Vec<Finding> {
+        let info = rule_by_name(rule).expect("known rule");
+        let toks = tokenize(src);
+        check(info, "mem.rs", &toks, &|_| false)
+    }
+
+    #[test]
+    fn wall_clock_hits() {
+        let f = run("no-wall-clock", "let t = std::time::Instant::now();");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Instant"));
+        assert!(run("no-wall-clock", "let t = SimTime::ZERO;").is_empty());
+    }
+
+    #[test]
+    fn unordered_hits() {
+        let f = run("no-unordered-iteration", "use std::collections::HashMap;");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("BTreeMap"));
+        assert!(run("no-unordered-iteration", "use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_hits() {
+        assert_eq!(run("no-ambient-rng", "let mut r = rand::thread_rng();").len(), 2);
+        assert!(run("no-ambient-rng", "let mut r = Rng64::new(42).fork();").is_empty());
+        // `rand` as a plain word (no path) is left alone.
+        assert!(run("no-ambient-rng", "let rand = 3;").is_empty());
+    }
+
+    #[test]
+    fn panic_hits() {
+        assert_eq!(run("no-panic-in-lib", "let x = y.unwrap();").len(), 1);
+        assert_eq!(run("no-panic-in-lib", "let x = y.expect(\"msg\");").len(), 1);
+        assert_eq!(run("no-panic-in-lib", "panic!(\"boom\")").len(), 1);
+        // unwrap_or and field accesses do not count.
+        assert!(run("no-panic-in-lib", "let x = y.unwrap_or(0);").is_empty());
+        assert!(run("no-panic-in-lib", "let expect = 3; f(expect)").is_empty());
+    }
+
+    #[test]
+    fn float_eq_hits() {
+        assert_eq!(run("no-float-eq", "if x == 1.0 {}").len(), 1);
+        assert_eq!(run("no-float-eq", "if 0.5 != y {}").len(), 1);
+        assert!(run("no-float-eq", "if x == 1 {}").is_empty());
+        assert!(run("no-float-eq", "if (x - 1.0).abs() < 1e-9 {}").is_empty());
+    }
+
+    #[test]
+    fn unit_suffix_hits() {
+        let f = run("unit-suffix-consistency", "let t = arrival_ms + size_sectors;");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mixes units"));
+        assert!(run("unit-suffix-consistency", "let t = arrival_ms + service_ms;").is_empty());
+        // Unsuffixed identifiers are unconstrained.
+        assert!(run("unit-suffix-consistency", "let t = arrival_ms + x;").is_empty());
+        // Multiplication converts units legitimately.
+        assert!(run("unit-suffix-consistency", "let b = size_sectors * per_sector_bytes;").is_empty());
+        // Index + count is offset math, but comparing them is not.
+        assert!(run("unit-suffix-consistency", "let end = start_lba + len_sectors;").is_empty());
+        assert_eq!(run("unit-suffix-consistency", "if start_lba < len_sectors {}").len(), 1);
+    }
+
+    #[test]
+    fn scoping_rules() {
+        use crate::scope::{FileClass, FileKind};
+        let panic_rule = rule_by_name("no-panic-in-lib").expect("rule");
+        let lib = FileClass { crate_name: "simkit".into(), kind: FileKind::Lib };
+        let bin = FileClass { crate_name: "simkit".into(), kind: FileKind::Bin };
+        let harness_bin = FileClass { crate_name: "experiments".into(), kind: FileKind::Bin };
+        let test = FileClass { crate_name: "simkit".into(), kind: FileKind::Test };
+        let tool = FileClass { crate_name: "testkit".into(), kind: FileKind::Lib };
+        assert!(rule_applies(panic_rule, &lib));
+        assert!(!rule_applies(panic_rule, &bin), "bins may panic");
+        assert!(!rule_applies(panic_rule, &test));
+        assert!(!rule_applies(panic_rule, &tool));
+        let wall = rule_by_name("no-wall-clock").expect("rule");
+        assert!(rule_applies(wall, &harness_bin), "bins drive simulations");
+    }
+}

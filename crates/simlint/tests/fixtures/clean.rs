@@ -1,0 +1,15 @@
+// Fixture with no violations: ordered containers, typed errors,
+// threaded RNG, tolerance comparisons, consistent units.
+
+use std::collections::BTreeMap;
+
+pub fn service(queue: &BTreeMap<u64, u64>, seek_ms: f64, rot_ms: f64) -> Result<f64, String> {
+    if queue.is_empty() {
+        return Err("empty queue".to_string());
+    }
+    let total_ms = seek_ms + rot_ms;
+    if (total_ms - 1.0).abs() < 1e-9 {
+        return Ok(1.0);
+    }
+    Ok(total_ms)
+}

@@ -1,0 +1,20 @@
+// Fixture for the no-ambient-rng rule. Lexed, never compiled.
+
+pub fn bad() {
+    let _r = thread_rng();
+}
+
+pub fn deliberate() {
+    let _h = RandomState::new(); // simlint: allow(no-ambient-rng)
+}
+
+pub fn threaded(rng: &mut Rng64) -> u64 {
+    rng.next()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt() {
+        let _r = SmallRng::from_entropy();
+    }
+}

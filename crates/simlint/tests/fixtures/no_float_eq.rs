@@ -1,0 +1,20 @@
+// Fixture for the no-float-eq rule. Lexed, never compiled.
+
+pub fn bad(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn deliberate(x: f64) -> bool {
+    x != 2.5 // simlint: allow(no-float-eq)
+}
+
+pub fn fine(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(x: f64) -> bool {
+        x == 0.5
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture for the no-panic-in-lib rule. Lexed, never compiled.
+
+pub fn bad_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn bad_macro() {
+    panic!("boom");
+}
+
+pub fn deliberate(x: Option<u64>) -> u64 {
+    x.expect("documented invariant") // simlint: allow(no-panic-in-lib)
+}
+
+pub fn fine(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(x: Option<u64>) -> u64 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture for the no-unordered-iteration rule. Lexed, never compiled.
+
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+// simlint: allow(no-unordered-iteration)
+pub type Scratch = std::collections::HashSet<u64>;
+
+pub fn ordered() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    pub fn exempt() -> HashSet<u64> {
+        HashSet::new()
+    }
+}

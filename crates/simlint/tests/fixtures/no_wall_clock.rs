@@ -1,0 +1,17 @@
+// Fixture for the no-wall-clock rule. This file is lexed by the
+// simlint test suite, never compiled.
+
+pub fn bad() {
+    let _t = std::time::Instant::now();
+}
+
+pub fn deliberate() {
+    let _t = std::time::SystemTime::now(); // simlint: allow(no-wall-clock)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt() {
+        let _t = std::time::Instant::now();
+    }
+}

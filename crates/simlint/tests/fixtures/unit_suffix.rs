@@ -1,0 +1,24 @@
+// Fixture for the unit-suffix-consistency rule. Lexed, never compiled.
+
+pub fn bad(arrival_ms: f64, size_sectors: f64) -> f64 {
+    arrival_ms + size_sectors
+}
+
+pub fn deliberate(service_ms: f64, wait_us: f64) -> f64 {
+    service_ms - wait_us // simlint: allow(unit-suffix-consistency)
+}
+
+pub fn offset_math(start_lba: u64, len_sectors: u64) -> u64 {
+    start_lba + len_sectors
+}
+
+pub fn same_unit(seek_ms: f64, rot_ms: f64) -> f64 {
+    seek_ms + rot_ms
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(a_ms: f64, b_lba: f64) -> f64 {
+        a_ms + b_lba
+    }
+}

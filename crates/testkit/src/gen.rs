@@ -17,6 +17,12 @@ pub struct Gen<T> {
     f: Rc<dyn Fn(&mut Source) -> T>,
 }
 
+impl<T> std::fmt::Debug for Gen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gen").finish_non_exhaustive()
+    }
+}
+
 impl<T: 'static> Gen<T> {
     /// Wraps a raw generation function.
     pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Self {

@@ -43,6 +43,7 @@ impl Default for Config {
 }
 
 /// One running test case: draws values and records them for reporting.
+#[derive(Debug)]
 pub struct TestCase<'a> {
     src: &'a mut Source,
     log: Vec<String>,

@@ -2,7 +2,8 @@
 # Pre-PR verification gate.
 #
 # Runs the tier-1 check from ROADMAP.md (release build + full test
-# suite) and then the test suite again with ignored tests included.
+# suite), with the simlint determinism gate between build and tests,
+# and then the test suite again with ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -12,6 +13,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
+
+echo "==> gate: simlint --deny-all"
+cargo run --release -p simlint -- --deny-all
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

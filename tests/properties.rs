@@ -233,11 +233,13 @@ fn drive_conserves_requests_on_random_minitraces() {
             if take {
                 let r = reqs[i];
                 i += 1;
-                if let Some(f) = drive.submit(r, r.arrival) {
+                if let Some(f) = drive.submit(r, r.arrival).expect("submit at arrival") {
                     completion = Some(f);
                 }
             } else {
-                let (_, next) = drive.complete(completion.expect("pending"));
+                let (_, next) = drive
+                    .complete(completion.expect("pending"))
+                    .expect("complete at promised time");
                 done += 1;
                 completion = next;
             }
@@ -287,11 +289,13 @@ fn more_actuators_never_hurt_mean_response() {
                 };
                 if take {
                     let r = pending.pop().expect("nonempty");
-                    if let Some(f) = drive.submit(r, r.arrival) {
+                    if let Some(f) = drive.submit(r, r.arrival).expect("submit at arrival") {
                         completion = Some(f);
                     }
                 } else {
-                    let (_, next) = drive.complete(completion.expect("pending"));
+                    let (_, next) = drive
+                    .complete(completion.expect("pending"))
+                    .expect("complete at promised time");
                     completion = next;
                 }
             }
