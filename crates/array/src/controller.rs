@@ -265,11 +265,13 @@ impl ArrayController {
         Ok(out)
     }
 
-    /// Closes idle-time accounting on every member disk at `end`.
+    /// Closes idle-time accounting on every member disk at `end` and
+    /// sorts the logical response summary for indexed percentiles.
     pub fn finalize(&mut self, end: SimTime) {
         for d in &mut self.disks {
             d.finalize(end);
         }
+        self.metrics.response_time_ms.finalize();
     }
 
     /// Sum of the member disks' average-power breakdowns (the height of

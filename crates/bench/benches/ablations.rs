@@ -17,8 +17,8 @@ use bench::bench;
 use std::hint::black_box;
 
 use array::Layout;
-use diskmodel::presets;
-use experiments::runner::{run_array, run_drive};
+use diskmodel::{presets, DiskParams};
+use experiments::{ArrayRunResult, DriveRunResult};
 use intradisk::freeblock::{dedicated_arm_throughput, FreeblockScheduler};
 use intradisk::overlap::{replay, OverlapConfig, OverlapMode};
 use intradisk::{ArmPlacement, DriveConfig, IoKind, IoRequest, QueuePolicy};
@@ -30,6 +30,22 @@ const SAMPLES: usize = 5;
 
 fn trace(mean_ms: f64, n: usize) -> Trace {
     SyntheticSpec::paper(mean_ms, presets::barracuda_es_750gb().capacity_sectors(), n).generate(42)
+}
+
+// Ablation traces replay cleanly by construction; unwrap the runner's
+// `Result` once here.
+fn run_drive(params: &DiskParams, config: DriveConfig, trace: &Trace) -> DriveRunResult {
+    experiments::run_drive(params, config, trace).expect("replay succeeds")
+}
+
+fn run_array(
+    params: &DiskParams,
+    member: DriveConfig,
+    disks: usize,
+    layout: Layout,
+    trace: &Trace,
+) -> ArrayRunResult {
+    experiments::run_array(params, member, disks, layout, trace).expect("replay succeeds")
 }
 
 fn ablate_policy() {

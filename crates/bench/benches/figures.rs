@@ -3,15 +3,29 @@
 //! Each benchmark runs the corresponding experiment pipeline at the
 //! shared reduced scale and prints the headline numbers once, so
 //! `cargo bench` both times the harness and regenerates every artifact.
+//! Studies run on the serial executor here so the numbers time the
+//! simulation pipeline itself; `--bench sweep` times the parallel
+//! executor.
 
 use bench::{bench, bench_scale};
 use experiments::{
-    bottleneck, cost_analysis, limit_study, raid_eval, rpm_study, sa_eval, tech_table,
+    cost_analysis, limit_study, tech_table, BottleneckStudy, Executor, LimitStudy, RaidStudy,
+    RpmStudy, SaStudy, Study,
 };
 use workload::WorkloadKind;
 
 const WARMUP: usize = 1;
 const SAMPLES: usize = 5;
+
+fn limit_one(kind: WorkloadKind) -> limit_study::WorkloadComparison {
+    LimitStudy::only(kind)
+        .run(bench_scale(), &Executor::serial())
+        .expect("replays cleanly")
+        .workloads
+        .into_iter()
+        .next()
+        .expect("one workload")
+}
 
 fn bench_table1() {
     bench("table1_tech_comparison", WARMUP, SAMPLES, tech_table::render);
@@ -19,16 +33,15 @@ fn bench_table1() {
 }
 
 fn bench_fig2_fig3() {
-    let scale = bench_scale();
     for kind in WorkloadKind::ALL {
         bench(
             &format!("fig2_fig3_limit_study_{}", kind.name()),
             WARMUP,
             SAMPLES,
-            || limit_study::run_one(kind, scale),
+            || limit_one(kind),
         );
     }
-    let w = limit_study::run_one(WorkloadKind::TpcC, scale);
+    let w = limit_one(WorkloadKind::TpcC);
     println!(
         "fig2/3 sample (TPC-C): MD mean {:.2} ms @ {:.1} W vs HC-SD mean {:.2} ms @ {:.1} W",
         w.md.response_time_ms.mean(),
@@ -40,10 +53,14 @@ fn bench_fig2_fig3() {
 
 fn bench_fig4() {
     let scale = bench_scale();
-    bench("fig4_bottleneck_tpcc", WARMUP, SAMPLES, || {
-        bottleneck::run_one(WorkloadKind::TpcC, scale)
-    });
-    let r = bottleneck::run_one(WorkloadKind::TpcC, scale);
+    let exec = Executor::serial();
+    let run = || {
+        BottleneckStudy::only(WorkloadKind::TpcC)
+            .run(scale, &exec)
+            .expect("replays cleanly")
+    };
+    bench("fig4_bottleneck_tpcc", WARMUP, SAMPLES, run);
+    let r = &run().workloads[0];
     println!(
         "fig4 sample (TPC-C): seek-elimination speedup {:.2}x, rotational {:.2}x",
         r.seek_elimination_speedup(),
@@ -53,10 +70,15 @@ fn bench_fig4() {
 
 fn bench_fig5() {
     let scale = bench_scale();
-    bench("fig5_sa_eval_websearch", WARMUP, SAMPLES, || {
-        sa_eval::run_one(WorkloadKind::Websearch, scale)
-    });
-    let r = sa_eval::run_one(WorkloadKind::Websearch, scale);
+    let exec = Executor::serial();
+    let run = || {
+        SaStudy::only(WorkloadKind::Websearch)
+            .run(scale, &exec)
+            .expect("replays cleanly")
+    };
+    bench("fig5_sa_eval_websearch", WARMUP, SAMPLES, run);
+    let report = run();
+    let r = &report.workloads[0];
     println!(
         "fig5 sample (Websearch): SA(1..4) means {:?} ms vs MD {:.2} ms",
         r.means_ms, r.md_mean_ms
@@ -65,11 +87,15 @@ fn bench_fig5() {
 
 fn bench_fig6_fig7() {
     let scale = bench_scale();
-    bench("fig6_fig7_rpm_study_tpch", WARMUP, SAMPLES, || {
-        rpm_study::run_one(WorkloadKind::TpcH, scale)
-    });
-    let r = rpm_study::run_one(WorkloadKind::TpcH, scale);
-    let be = r.break_even_points(1.25);
+    let exec = Executor::serial();
+    let run = || {
+        RpmStudy::only(WorkloadKind::TpcH)
+            .run(scale, &exec)
+            .expect("replays cleanly")
+    };
+    bench("fig6_fig7_rpm_study_tpch", WARMUP, SAMPLES, run);
+    let report = run();
+    let be = report.workloads[0].break_even_points(1.25);
     println!(
         "fig6/7 sample (TPC-H): {} reduced-RPM designs break even with MD",
         be.len()
@@ -78,11 +104,12 @@ fn bench_fig6_fig7() {
 
 fn bench_fig8() {
     let scale = bench_scale();
+    let exec = Executor::serial();
     bench("fig8_raid_sweep_4ms", WARMUP, SAMPLES, || {
-        raid_eval::run_sweep(4.0, scale)
+        RaidStudy::only(4.0).run(scale, &exec).expect("replays cleanly")
     });
-    let sweep = raid_eval::run_sweep(1.0, scale);
-    let iso = sweep.iso_performance(1.15);
+    let report = RaidStudy::only(1.0).run(scale, &exec).expect("replays cleanly");
+    let iso = report.sweeps[0].iso_performance(1.15);
     for p in iso {
         println!(
             "fig8 iso-performance @1ms: {} -> p90 {:.1} ms @ {:.1} W",

@@ -1,0 +1,52 @@
+//! Wall-clock scaling of the parallel sweep executor.
+//!
+//! Runs the reduced-scale full sweep (every Study the `repro` binary
+//! drives, minus the closed-form tables) at jobs = 1, 2, 4 and reports
+//! each as a JSON line, plus a host-core-count line — speedup can only
+//! materialize when the host actually has spare cores, so baselines
+//! must be read together with `bench_host_cores`.
+//!
+//! ```text
+//! cargo bench -p bench --bench sweep
+//! ```
+
+use bench::bench;
+use experiments::{
+    BottleneckStudy, Executor, LimitStudy, RaidStudy, RpmStudy, SaStudy, Scale, Study,
+};
+
+const WARMUP: usize = 1;
+const SAMPLES: usize = 3;
+
+/// One reduced-scale full sweep on `exec`; returns a small count so the
+/// optimizer cannot discard the runs.
+fn full_sweep(scale: Scale, exec: &Executor) -> usize {
+    let mut artifacts = 0;
+    artifacts += LimitStudy::all().run(scale, exec).expect("replays cleanly").workloads.len();
+    artifacts += BottleneckStudy::all().run(scale, exec).expect("replays cleanly").workloads.len();
+    artifacts += SaStudy::all().run(scale, exec).expect("replays cleanly").workloads.len();
+    artifacts += RpmStudy::all().run(scale, exec).expect("replays cleanly").workloads.len();
+    artifacts += RaidStudy::all().run(scale, exec).expect("replays cleanly").sweeps.len();
+    artifacts
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("{{\"bench_host_cores\":{cores}}}");
+    let scale = Scale::bench().with_requests(2_000);
+    let mut medians = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let exec = Executor::new(jobs);
+        let r = bench(&format!("full_sweep_jobs{jobs}"), WARMUP, SAMPLES, || {
+            full_sweep(scale, &exec)
+        });
+        medians.push((jobs, r.median_ns));
+    }
+    let serial = medians[0].1;
+    for (jobs, median) in &medians[1..] {
+        println!(
+            "{{\"speedup_jobs{jobs}\":{:.2}}}",
+            serial / median.max(1.0)
+        );
+    }
+}

@@ -1,12 +1,17 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--requests N] [--seed S]
+//! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             fig8 | table9 | fig9 | thermal | drpm | all
 //!             (default: all; `all` includes the extension studies)
 //! ```
+//!
+//! Sweeps fan out across `--jobs` worker threads (default: the
+//! machine's available parallelism). The report printed to stdout is
+//! byte-identical for every jobs value; per-point progress lines go to
+//! stderr.
 
 use std::env;
 use std::fs::File;
@@ -15,7 +20,8 @@ use std::process::ExitCode;
 
 use experiments::configs::Scale;
 use experiments::{
-    bottleneck, cost_analysis, extensions, limit_study, raid_eval, rpm_study, sa_eval, tech_table,
+    cost_analysis, extensions, tech_table, BottleneckStudy, Executor, LimitStudy, RaidStudy,
+    RpmStudy, SaStudy, Study, StudyError, ValidationStudy,
 };
 
 struct Args {
@@ -23,6 +29,13 @@ struct Args {
     scale: Scale,
     spc_file: Option<String>,
     actuators: u32,
+    jobs: usize,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism() // simlint: allow(no-thread-in-sim) — CLI sizing the executor
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::report();
     let mut spc_file = None;
     let mut actuators = 4u32;
+    let mut jobs = default_jobs();
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,6 +53,16 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--actuators needs a value")?
                     .parse::<u32>()
                     .map_err(|e| format!("bad --actuators: {e}"))?;
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             "--requests" => {
                 let v = it
@@ -57,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--requests N] [--seed S]\n       repro spc <trace-file> [--actuators N] [--requests N]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S]\n       repro spc <trace-file> [--actuators N] [--requests N]"
                         .to_string(),
                 );
             }
@@ -76,65 +100,45 @@ fn parse_args() -> Result<Args, String> {
         scale,
         spc_file,
         actuators,
+        jobs,
     })
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
+/// Replays a real SPC-format trace (e.g. the UMass Financial or
+/// Websearch traces) against conventional and intra-disk parallel
+/// drives.
+fn run_spc(args: &Args) -> Result<(), String> {
+    let Some(path) = args.spc_file.as_deref() else {
+        return Err("spc mode needs a trace file: repro spc <file>".to_string());
     };
-    let scale = args.scale;
-
-    // Replay a real SPC-format trace (e.g. the UMass Financial or
-    // Websearch traces) against conventional and intra-disk parallel
-    // drives.
-    if args.experiment == "spc" {
-        let Some(path) = args.spc_file else {
-            eprintln!("spc mode needs a trace file: repro spc <file>");
-            return ExitCode::FAILURE;
-        };
-        let file = match File::open(&path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("cannot open {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let trace = match workload::spc::read_trace(
-            BufReader::new(file),
-            &path,
-            1,
-            Some(scale.requests),
-        ) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        println!("replaying {} ({} requests, stats {:?})", path, trace.len(), trace.stats());
-        for n in [1u32, args.actuators] {
-            let r = experiments::runner::run_drive(
-                &experiments::configs::hcsd_params(),
-                intradisk::DriveConfig::sa(n),
-                &trace,
-            );
-            println!(
-                "  SA({n}): mean {:.2} ms | p90-bucketed CDF@20ms {:.1}% | power {:.2} W",
-                r.metrics.response_time_ms.mean(),
-                r.metrics.response_hist.cdf().at(20.0) * 100.0,
-                r.power.total_w()
-            );
-        }
-        return ExitCode::SUCCESS;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let trace = workload::spc::read_trace(BufReader::new(file), path, 1, Some(args.scale.requests))
+        .map_err(|e| e.to_string())?;
+    println!("replaying {} ({} requests, stats {:?})", path, trace.len(), trace.stats());
+    for n in [1u32, args.actuators] {
+        let r = experiments::run_drive(
+            &experiments::configs::hcsd_params(),
+            intradisk::DriveConfig::sa(n),
+            &trace,
+        )
+        .map_err(|e| format!("SA({n}) replay failed: {e}"))?;
+        println!(
+            "  SA({n}): mean {:.2} ms | p90-bucketed CDF@20ms {:.1}% | power {:.2} W",
+            r.metrics.response_time_ms.mean(),
+            r.metrics.response_hist.cdf().at(20.0) * 100.0,
+            r.power.total_w()
+        );
     }
+    Ok(())
+}
 
+fn run_experiments(args: &Args, exec: &Executor) -> Result<(), StudyError> {
+    let scale = args.scale;
     let want = |name: &str| args.experiment == name || args.experiment == "all";
 
+    // The worker count must not leak into stdout: the report is
+    // byte-identical for every --jobs value.
+    eprintln!("[executor: {} jobs]", exec.jobs());
     println!(
         "# Intra-Disk Parallelism reproduction — {} requests/run, seed {}\n",
         scale.requests, scale.seed
@@ -144,46 +148,41 @@ fn main() -> ExitCode {
         println!("{}", tech_table::render());
     }
     if want("fig2") || want("fig3") {
-        eprintln!("[limit study: 4 workloads x (MD + HC-SD)]");
-        let study = limit_study::run(scale);
+        let report = LimitStudy::all().run(scale, exec)?;
         if want("fig2") {
-            println!("{}", study.render_figure2());
+            println!("{}", report.render_figure2());
         }
         if want("fig3") {
-            println!("{}", study.render_figure3());
+            println!("{}", report.render_figure3());
         }
     }
     if want("fig4") {
-        eprintln!("[bottleneck analysis: 4 workloads x 8 configurations]");
-        let study = bottleneck::run(scale);
-        println!("{}", study.render());
+        let report = BottleneckStudy::all().run(scale, exec)?;
+        println!("{}", report.render());
     }
     if want("fig5") || want("fig6") {
-        eprintln!("[HC-SD-SA(n) evaluation: 4 workloads x (MD + 4 designs)]");
-        let study = sa_eval::run(scale);
+        let report = SaStudy::all().run(scale, exec)?;
         if want("fig5") {
-            println!("{}", study.render_cdfs());
-            println!("{}", study.render_pdfs());
+            println!("{}", report.render_cdfs());
+            println!("{}", report.render_pdfs());
         }
         if want("fig6") {
-            println!("{}", study.render_power());
+            println!("{}", report.render_power());
         }
     }
     if want("fig6") || want("fig7") {
-        eprintln!("[reduced-RPM study: 4 workloads x (MD + HC-SD + 8 design points)]");
-        let study = rpm_study::run(scale);
+        let report = RpmStudy::all().run(scale, exec)?;
         if want("fig6") {
-            println!("{}", study.render_figure6());
+            println!("{}", report.render_figure6());
         }
         if want("fig7") {
-            println!("{}", study.render_figure7());
+            println!("{}", report.render_figure7());
         }
     }
     if want("fig8") {
-        eprintln!("[RAID study: 3 loads x 3 member types x 5 disk counts]");
-        let study = raid_eval::run(scale);
-        println!("{}", study.render_performance());
-        println!("{}", study.render_power());
+        let report = RaidStudy::all().run(scale, exec)?;
+        println!("{}", report.render_performance());
+        println!("{}", report.render_power());
     }
     if want("table9") {
         println!("{}", cost_analysis::render_table9a());
@@ -195,22 +194,62 @@ fn main() -> ExitCode {
         println!("{}", extensions::render_thermal());
     }
     if want("drpm") {
-        eprintln!("[DRPM comparison: 4 workloads x 3 designs]");
-        println!("{}", extensions::render_drpm(scale));
+        eprintln!("[drpm: 4 workloads x 3 designs]");
+        let out = extensions::render_drpm(scale).map_err(|source| StudyError::Drive {
+            study: "drpm",
+            label: "DRPM comparison".to_string(),
+            source,
+        })?;
+        println!("{out}");
     }
     if want("validate") {
-        println!("{}", experiments::validation::render());
+        let report = ValidationStudy::all().run(scale, exec)?;
+        println!("{}", report.render());
     }
     if want("robust") {
-        eprintln!("[seed robustness: 4 workloads x 5 seeds x (MD + HC-SD)]");
+        eprintln!("[robust: 4 workloads x 5 seeds x (MD + HC-SD)]");
         println!(
             "{}",
-            experiments::replication::render(scale, &[42, 1, 2, 3, 4])
+            experiments::replication::render(scale, &[42, 1, 2, 3, 4], exec)
         );
     }
     if want("dash") {
-        eprintln!("[DASH dimension comparison: 4 workloads x 4 designs]");
-        println!("{}", extensions::render_dash(scale));
+        eprintln!("[dash: 4 workloads x 4 designs]");
+        let out = extensions::render_dash(scale).map_err(|source| StudyError::Drive {
+            study: "dash",
+            label: "DASH dimension comparison".to_string(),
+            source,
+        })?;
+        println!("{out}");
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.experiment == "spc" {
+        return match run_spc(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let exec = Executor::new(args.jobs).with_progress();
+    match run_experiments(&args, &exec) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

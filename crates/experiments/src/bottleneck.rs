@@ -8,11 +8,13 @@
 //! than scaling seek time, and `(1/4)R` is enough to surpass the MD
 //! array for Websearch, TPC-C, and TPC-H.
 
+use diskmodel::DriveError;
 use intradisk::{DriveConfig, LatencyScaling};
 use simkit::Cdf;
 use workload::WorkloadKind;
 
 use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
 
@@ -39,62 +41,156 @@ pub struct BottleneckResult {
     pub rot_means: Vec<f64>,
 }
 
-/// The full Figure 4 study.
+/// The reduced Figure 4 study.
 #[derive(Debug, Clone)]
-pub struct BottleneckStudy {
+pub struct BottleneckReport {
     /// One result per workload.
     pub workloads: Vec<BottleneckResult>,
 }
 
-/// Runs the bottleneck isolation for one workload.
-pub fn run_one(kind: WorkloadKind, scale: Scale) -> BottleneckResult {
-    let trace = trace_for(kind, scale);
-    let cfg = md_config(kind);
-    let md = run_array(
-        &cfg.drive,
-        DriveConfig::conventional(),
-        cfg.disks,
-        cfg.layout,
-        &trace,
-    );
-    let mut seek_scaled = Vec::new();
-    let mut rot_scaled = Vec::new();
-    let mut seek_means = Vec::new();
-    let mut rot_means = Vec::new();
-    for &f in &FACTORS {
-        let s = run_drive(
-            &hcsd_params(),
-            DriveConfig::conventional().with_scaling(LatencyScaling::seek_only(f)),
-            &trace,
-        );
-        seek_means.push(s.metrics.response_time_ms.mean());
-        seek_scaled.push(s.metrics.response_hist.cdf());
-        let r = run_drive(
-            &hcsd_params(),
-            DriveConfig::conventional().with_scaling(LatencyScaling::rotational_only(f)),
-            &trace,
-        );
-        rot_means.push(r.metrics.response_time_ms.mean());
-        rot_scaled.push(r.metrics.response_hist.cdf());
+/// One sweep point of the bottleneck isolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BottleneckPoint {
+    /// The MD reference array.
+    Md(WorkloadKind),
+    /// HC-SD with seek time scaled by the factor.
+    Seek(WorkloadKind, f64),
+    /// HC-SD with rotational latency scaled by the factor.
+    Rot(WorkloadKind, f64),
+}
+
+/// Output of one [`BottleneckPoint`].
+#[derive(Debug, Clone)]
+pub enum BottleneckOutput {
+    /// MD reference: `(kind, mean ms, CDF)`.
+    Md(WorkloadKind, f64, Cdf),
+    /// Seek-scaled HC-SD: `(mean ms, CDF)`.
+    Seek(f64, Cdf),
+    /// Rotation-scaled HC-SD: `(mean ms, CDF)`.
+    Rot(f64, Cdf),
+}
+
+/// The bottleneck study driver (Figure 4).
+#[derive(Debug, Clone)]
+pub struct BottleneckStudy {
+    kinds: Vec<WorkloadKind>,
+}
+
+impl BottleneckStudy {
+    /// All four workloads, in the paper's order.
+    pub fn all() -> Self {
+        BottleneckStudy { kinds: WorkloadKind::ALL.to_vec() }
     }
-    BottleneckResult {
-        kind,
-        md_mean_ms: md.response_time_ms.mean(),
-        md: md.response_hist.cdf(),
-        seek_scaled,
-        rot_scaled,
-        seek_means,
-        rot_means,
+
+    /// A single workload (tests and focused runs).
+    pub fn only(kind: WorkloadKind) -> Self {
+        BottleneckStudy { kinds: vec![kind] }
     }
 }
 
-/// Runs the study for all four workloads.
-pub fn run(scale: Scale) -> BottleneckStudy {
-    BottleneckStudy {
-        workloads: WorkloadKind::ALL
+impl Study for BottleneckStudy {
+    type Point = BottleneckPoint;
+    type Output = BottleneckOutput;
+    type Report = BottleneckReport;
+
+    fn name(&self) -> &'static str {
+        "bottleneck"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<BottleneckPoint> {
+        self.kinds
             .iter()
-            .map(|&k| run_one(k, scale))
-            .collect(),
+            .flat_map(|&k| {
+                std::iter::once(BottleneckPoint::Md(k))
+                    .chain(FACTORS.iter().map(move |&f| BottleneckPoint::Seek(k, f)))
+                    .chain(FACTORS.iter().map(move |&f| BottleneckPoint::Rot(k, f)))
+            })
+            .collect()
+    }
+
+    fn label(&self, point: &BottleneckPoint) -> String {
+        match point {
+            BottleneckPoint::Md(k) => format!("{}/MD", k.name()),
+            BottleneckPoint::Seek(k, f) => format!("{}/seek x{f}", k.name()),
+            BottleneckPoint::Rot(k, f) => format!("{}/rot x{f}", k.name()),
+        }
+    }
+
+    fn run_point(
+        &self,
+        point: &BottleneckPoint,
+        scale: Scale,
+    ) -> Result<BottleneckOutput, DriveError> {
+        match *point {
+            BottleneckPoint::Md(kind) => {
+                let trace = trace_for(kind, scale);
+                let cfg = md_config(kind);
+                let md = run_array(
+                    &cfg.drive,
+                    DriveConfig::conventional(),
+                    cfg.disks,
+                    cfg.layout,
+                    &trace,
+                )?;
+                Ok(BottleneckOutput::Md(
+                    kind,
+                    md.response_time_ms.mean(),
+                    md.response_hist.cdf(),
+                ))
+            }
+            BottleneckPoint::Seek(kind, f) => {
+                let trace = trace_for(kind, scale);
+                let r = run_drive(
+                    &hcsd_params(),
+                    DriveConfig::conventional().with_scaling(LatencyScaling::seek_only(f)),
+                    &trace,
+                )?;
+                Ok(BottleneckOutput::Seek(
+                    r.metrics.response_time_ms.mean(),
+                    r.metrics.response_hist.cdf(),
+                ))
+            }
+            BottleneckPoint::Rot(kind, f) => {
+                let trace = trace_for(kind, scale);
+                let r = run_drive(
+                    &hcsd_params(),
+                    DriveConfig::conventional().with_scaling(LatencyScaling::rotational_only(f)),
+                    &trace,
+                )?;
+                Ok(BottleneckOutput::Rot(
+                    r.metrics.response_time_ms.mean(),
+                    r.metrics.response_hist.cdf(),
+                ))
+            }
+        }
+    }
+
+    fn reduce(&self, outputs: Vec<BottleneckOutput>) -> BottleneckReport {
+        let mut workloads: Vec<BottleneckResult> = Vec::new();
+        for out in outputs {
+            match out {
+                BottleneckOutput::Md(kind, mean, cdf) => workloads.push(BottleneckResult {
+                    kind,
+                    md: cdf,
+                    md_mean_ms: mean,
+                    seek_scaled: Vec::new(),
+                    rot_scaled: Vec::new(),
+                    seek_means: Vec::new(),
+                    rot_means: Vec::new(),
+                }),
+                BottleneckOutput::Seek(mean, cdf) => {
+                    let w = workloads.last_mut().expect("plan leads with MD");
+                    w.seek_means.push(mean);
+                    w.seek_scaled.push(cdf);
+                }
+                BottleneckOutput::Rot(mean, cdf) => {
+                    let w = workloads.last_mut().expect("plan leads with MD");
+                    w.rot_means.push(mean);
+                    w.rot_scaled.push(cdf);
+                }
+            }
+        }
+        BottleneckReport { workloads }
     }
 }
 
@@ -112,7 +208,7 @@ impl BottleneckResult {
     }
 }
 
-impl BottleneckStudy {
+impl BottleneckReport {
     /// Renders Figure 4 (both rows: seek impact, rotational impact).
     pub fn render(&self) -> String {
         let mut out =
@@ -153,10 +249,14 @@ impl BottleneckStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Executor;
 
     #[test]
     fn scaling_monotone_for_tpcc() {
-        let r = run_one(WorkloadKind::TpcC, Scale::quick().with_requests(8_000));
+        let report = BottleneckStudy::only(WorkloadKind::TpcC)
+            .run(Scale::quick().with_requests(8_000), &Executor::serial())
+            .expect("replay succeeds");
+        let r = &report.workloads[0];
         // More aggressive scaling never hurts the mean (small-sample
         // noise tolerance).
         for m in [&r.seek_means, &r.rot_means] {
@@ -171,9 +271,9 @@ mod tests {
     #[test]
     fn render_contains_all_series() {
         let scale = Scale::quick().with_requests(1_500);
-        let study = BottleneckStudy {
-            workloads: vec![run_one(WorkloadKind::TpcH, scale)],
-        };
+        let study = BottleneckStudy::only(WorkloadKind::TpcH)
+            .run(scale, &Executor::new(3))
+            .expect("replay succeeds");
         let s = study.render();
         for label in ["(1/2)S", "(1/4)S", "S=0", "(1/2)R", "(1/4)R", "R=0", "MD"] {
             assert!(s.contains(label), "missing {label}");

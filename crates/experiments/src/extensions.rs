@@ -14,7 +14,7 @@
 //!   average power.
 
 use array::Layout;
-use diskmodel::{presets, DiskParams, PowerModel, ThermalModel};
+use diskmodel::{presets, DiskParams, DriveError, PowerModel, ThermalModel};
 use intradisk::drpm::{self, DrpmConfig};
 use intradisk::DriveConfig;
 use workload::WorkloadKind;
@@ -119,18 +119,18 @@ pub struct DrpmRow {
 }
 
 /// Replays `kind` against the three designs.
-pub fn drpm_comparison(kind: WorkloadKind, scale: Scale) -> Vec<DrpmRow> {
+pub fn drpm_comparison(kind: WorkloadKind, scale: Scale) -> Result<Vec<DrpmRow>, DriveError> {
     let trace = trace_for(kind, scale);
     let params = hcsd_params();
 
-    let conventional = run_drive(&params, DriveConfig::conventional(), &trace);
+    let conventional = run_drive(&params, DriveConfig::conventional(), &trace)?;
     let drpm = drpm::replay(&params, DrpmConfig::typical(), trace.requests());
     let low_rpm_sa4 = run_drive(
         &presets::barracuda_es_at_rpm(4_200),
         DriveConfig::sa(4),
         &trace,
-    );
-    vec![
+    )?;
+    Ok(vec![
         DrpmRow {
             label: "conventional @7200".to_string(),
             mean_ms: conventional.metrics.response_time_ms.mean(),
@@ -146,16 +146,16 @@ pub fn drpm_comparison(kind: WorkloadKind, scale: Scale) -> Vec<DrpmRow> {
             mean_ms: low_rpm_sa4.metrics.response_time_ms.mean(),
             power_w: low_rpm_sa4.power.total_w(),
         },
-    ]
+    ])
 }
 
 /// Renders the DRPM comparison for every workload.
-pub fn render_drpm(scale: Scale) -> String {
+pub fn render_drpm(scale: Scale) -> Result<String, DriveError> {
     let mut out = String::from(
         "Extension: intra-disk parallelism vs DRPM power management\n\n",
     );
     for kind in WorkloadKind::ALL {
-        let rows = drpm_comparison(kind, scale);
+        let rows = drpm_comparison(kind, scale)?;
         let headers = ["configuration", "mean ms", "avg W"];
         let cells: Vec<Vec<String>> = rows
             .iter()
@@ -169,7 +169,7 @@ pub fn render_drpm(scale: Scale) -> String {
             .collect();
         out.push_str(&format!("{}\n{}\n", kind.name(), report::table(&headers, &cells)));
     }
-    out
+    Ok(out)
 }
 
 /// One row of the DASH-dimension comparison.
@@ -209,22 +209,25 @@ fn half_stack() -> DiskParams {
 /// capacity: `D2` (two half-capacity small-platter stacks), `A2`
 /// (two arm assemblies), and `H2` (two heads per arm), against the
 /// conventional `D1A1S1H1` drive.
-pub fn dash_dimension_study(kind: WorkloadKind, scale: Scale) -> Vec<DashRow> {
+pub fn dash_dimension_study(
+    kind: WorkloadKind,
+    scale: Scale,
+) -> Result<Vec<DashRow>, DriveError> {
     let trace = trace_for(kind, scale);
     let base = hcsd_params();
 
-    let conventional = run_drive(&base, DriveConfig::conventional(), &trace);
+    let conventional = run_drive(&base, DriveConfig::conventional(), &trace)?;
     let d2 = run_array(
         &half_stack(),
         DriveConfig::conventional(),
         2,
         Layout::striped_default(),
         &trace,
-    );
-    let a2 = run_drive(&base, DriveConfig::sa(2), &trace);
-    let h2 = run_drive(&base, DriveConfig::dash(1, 2), &trace);
+    )?;
+    let a2 = run_drive(&base, DriveConfig::sa(2), &trace)?;
+    let h2 = run_drive(&base, DriveConfig::dash(1, 2), &trace)?;
 
-    vec![
+    Ok(vec![
         DashRow {
             label: "D1A1S1H1 (conventional)".to_string(),
             mean_ms: conventional.metrics.response_time_ms.mean(),
@@ -245,18 +248,18 @@ pub fn dash_dimension_study(kind: WorkloadKind, scale: Scale) -> Vec<DashRow> {
             mean_ms: h2.metrics.response_time_ms.mean(),
             power_w: h2.power.total_w(),
         },
-    ]
+    ])
 }
 
 /// Renders the DASH-dimension comparison for every workload.
-pub fn render_dash(scale: Scale) -> String {
+pub fn render_dash(scale: Scale) -> Result<String, DriveError> {
     let mut out = String::from(
         "Extension: one design point per DASH dimension (equal capacity)
 
 ",
     );
     for kind in WorkloadKind::ALL {
-        let rows = dash_dimension_study(kind, scale);
+        let rows = dash_dimension_study(kind, scale)?;
         let headers = ["design", "mean ms", "avg W"];
         let cells: Vec<Vec<String>> = rows
             .iter()
@@ -272,7 +275,7 @@ pub fn render_dash(scale: Scale) -> String {
 {}
 ", kind.name(), report::table(&headers, &cells)));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -281,7 +284,8 @@ mod tests {
 
     #[test]
     fn dash_dimensions_all_parallel_designs_beat_conventional() {
-        let rows = dash_dimension_study(WorkloadKind::TpcC, Scale::quick().with_requests(5_000));
+        let rows = dash_dimension_study(WorkloadKind::TpcC, Scale::quick().with_requests(5_000))
+            .expect("replay succeeds");
         assert_eq!(rows.len(), 4);
         let conv = rows[0].mean_ms;
         for r in &rows[1..] {
@@ -303,7 +307,8 @@ mod tests {
         // — its rotational benefit is unconditional — which is exactly
         // the "fine-grained parallelism depends on data access
         // patterns" trade-off the section discusses.)
-        let rows = dash_dimension_study(WorkloadKind::TpcH, Scale::quick().with_requests(5_000));
+        let rows = dash_dimension_study(WorkloadKind::TpcH, Scale::quick().with_requests(5_000))
+            .expect("replay succeeds");
         let a2 = rows.iter().find(|r| r.label.starts_with("D1A2")).expect("A2");
         let h2 = rows.iter().find(|r| r.label.starts_with("D1A1S1H2")).expect("H2");
         assert!(
@@ -345,7 +350,8 @@ mod tests {
 
     #[test]
     fn drpm_rows_sensible_for_tpch() {
-        let rows = drpm_comparison(WorkloadKind::TpcH, Scale::quick().with_requests(4_000));
+        let rows = drpm_comparison(WorkloadKind::TpcH, Scale::quick().with_requests(4_000))
+            .expect("replay succeeds");
         assert_eq!(rows.len(), 3);
         let conv = &rows[0];
         let drpm = &rows[1];
@@ -361,7 +367,7 @@ mod tests {
     #[test]
     fn renders_nonempty() {
         assert!(render_thermal().contains("envelope"));
-        let s = render_drpm(Scale::quick().with_requests(1_500));
+        let s = render_drpm(Scale::quick().with_requests(1_500)).expect("replay succeeds");
         assert!(s.contains("DRPM"));
         assert!(s.contains("TPC-H"));
     }

@@ -17,20 +17,26 @@
 //! | [`validation`] | simulator cross-checks against closed-form results |
 //! | [`replication`] | seed-robustness of the headline conclusions |
 //!
-//! [`runner`] holds the shared trace-driven event loops; [`report`]
-//! renders results as the ASCII equivalents of the paper's plots. The
-//! `repro` binary drives everything:
+//! Every study implements the [`Study`] trait ([`plan`] module): it
+//! *describes* its sweep as an [`ExperimentPlan`] and reduces per-point
+//! outputs to a report; the [`exec`] module's [`Executor`] fans the
+//! points across worker threads with byte-identical (plan-order)
+//! result collection. [`runner`] holds the shared trace-driven event
+//! loops; [`report`] renders results as the ASCII equivalents of the
+//! paper's plots. The `repro` binary drives everything:
 //!
 //! ```text
-//! cargo run --release -p experiments --bin repro -- all
+//! cargo run --release -p experiments --bin repro -- all --jobs 4
 //! cargo run --release -p experiments --bin repro -- fig5 --requests 200000
 //! ```
 
 pub mod bottleneck;
 pub mod configs;
 pub mod cost_analysis;
+pub mod exec;
 pub mod extensions;
 pub mod limit_study;
+pub mod plan;
 pub mod raid_eval;
 pub mod replication;
 pub mod report;
@@ -40,5 +46,17 @@ pub mod sa_eval;
 pub mod tech_table;
 pub mod validation;
 
+// The one import path for driving experiments: scale + the Study API +
+// the study drivers + the raw runners.
+pub use bottleneck::BottleneckStudy;
 pub use configs::Scale;
-pub use runner::{run_array, run_drive, ArrayRunResult, DriveRunResult};
+pub use exec::{Executor, StudyError};
+pub use limit_study::LimitStudy;
+pub use plan::{ExperimentPlan, Study};
+pub use raid_eval::RaidStudy;
+pub use rpm_study::RpmStudy;
+pub use runner::{
+    run_array, run_drive, run_drive_with_failures, ArrayRunResult, DriveRunResult,
+};
+pub use sa_eval::SaStudy;
+pub use validation::ValidationStudy;

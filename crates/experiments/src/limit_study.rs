@@ -2,11 +2,13 @@
 //! performance-tuned multi-disk array (MD) with a single high-capacity
 //! drive (HC-SD) and measure the performance gap and the power gap.
 
+use diskmodel::DriveError;
 use intradisk::DriveConfig;
 use simkit::Cdf;
 use workload::WorkloadKind;
 
 use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive, ArrayRunResult, DriveRunResult};
 
@@ -33,38 +35,111 @@ impl WorkloadComparison {
     }
 }
 
-/// The full limit study.
+/// The reduced limit study.
 #[derive(Debug, Clone)]
-pub struct LimitStudy {
+pub struct LimitReport {
     /// One comparison per workload, in the paper's order.
     pub workloads: Vec<WorkloadComparison>,
 }
 
-/// Runs MD and HC-SD for all four workloads.
-pub fn run(scale: Scale) -> LimitStudy {
-    let workloads = WorkloadKind::ALL
-        .iter()
-        .map(|&kind| run_one(kind, scale))
-        .collect();
-    LimitStudy { workloads }
+/// One sweep point: one workload's MD array or HC-SD replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitPoint {
+    /// The Table 2 multi-disk array.
+    Md(WorkloadKind),
+    /// The high-capacity single drive.
+    Hcsd(WorkloadKind),
 }
 
-/// Runs the comparison for one workload.
-pub fn run_one(kind: WorkloadKind, scale: Scale) -> WorkloadComparison {
-    let trace = trace_for(kind, scale);
-    let md_cfg = md_config(kind);
-    let md = run_array(
-        &md_cfg.drive,
-        DriveConfig::conventional(),
-        md_cfg.disks,
-        md_cfg.layout,
-        &trace,
-    );
-    let hcsd = run_drive(&hcsd_params(), DriveConfig::conventional(), &trace);
-    WorkloadComparison { kind, md, hcsd }
+/// Output of one [`LimitPoint`].
+#[derive(Debug, Clone)]
+pub enum LimitOutput {
+    /// Array replay result.
+    Md(WorkloadKind, ArrayRunResult),
+    /// Single-drive replay result.
+    Hcsd(DriveRunResult),
+}
+
+/// The limit study driver (Figures 2 and 3).
+#[derive(Debug, Clone)]
+pub struct LimitStudy {
+    kinds: Vec<WorkloadKind>,
 }
 
 impl LimitStudy {
+    /// All four workloads, in the paper's order.
+    pub fn all() -> Self {
+        LimitStudy { kinds: WorkloadKind::ALL.to_vec() }
+    }
+
+    /// A single workload (tests and focused runs).
+    pub fn only(kind: WorkloadKind) -> Self {
+        LimitStudy { kinds: vec![kind] }
+    }
+}
+
+impl Study for LimitStudy {
+    type Point = LimitPoint;
+    type Output = LimitOutput;
+    type Report = LimitReport;
+
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<LimitPoint> {
+        self.kinds
+            .iter()
+            .flat_map(|&k| [LimitPoint::Md(k), LimitPoint::Hcsd(k)])
+            .collect()
+    }
+
+    fn label(&self, point: &LimitPoint) -> String {
+        match point {
+            LimitPoint::Md(k) => format!("{}/MD", k.name()),
+            LimitPoint::Hcsd(k) => format!("{}/HC-SD", k.name()),
+        }
+    }
+
+    fn run_point(&self, point: &LimitPoint, scale: Scale) -> Result<LimitOutput, DriveError> {
+        match *point {
+            LimitPoint::Md(kind) => {
+                let trace = trace_for(kind, scale);
+                let cfg = md_config(kind);
+                let md = run_array(
+                    &cfg.drive,
+                    DriveConfig::conventional(),
+                    cfg.disks,
+                    cfg.layout,
+                    &trace,
+                )?;
+                Ok(LimitOutput::Md(kind, md))
+            }
+            LimitPoint::Hcsd(kind) => {
+                let trace = trace_for(kind, scale);
+                let hcsd = run_drive(&hcsd_params(), DriveConfig::conventional(), &trace)?;
+                Ok(LimitOutput::Hcsd(hcsd))
+            }
+        }
+    }
+
+    fn reduce(&self, outputs: Vec<LimitOutput>) -> LimitReport {
+        let mut pending: Option<(WorkloadKind, ArrayRunResult)> = None;
+        let mut workloads = Vec::new();
+        for out in outputs {
+            match out {
+                LimitOutput::Md(kind, md) => pending = Some((kind, md)),
+                LimitOutput::Hcsd(hcsd) => {
+                    let (kind, md) = pending.take().expect("plan pairs MD before HC-SD");
+                    workloads.push(WorkloadComparison { kind, md, hcsd });
+                }
+            }
+        }
+        LimitReport { workloads }
+    }
+}
+
+impl LimitReport {
     /// Renders Figure 2: per-workload response-time CDFs, MD vs HC-SD.
     pub fn render_figure2(&self) -> String {
         let mut out = String::from("Figure 2: The performance gap between MD and HC-SD\n\n");
@@ -100,13 +175,17 @@ impl LimitStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Executor;
 
     // Full-study shape assertions live in tests/shapes.rs; here we only
     // smoke-test one comparison end to end at tiny scale.
     #[test]
     fn tpch_light_load_keeps_hcsd_close() {
         let scale = Scale::quick().with_requests(6_000);
-        let w = run_one(WorkloadKind::TpcH, scale);
+        let report = LimitStudy::only(WorkloadKind::TpcH)
+            .run(scale, &Executor::serial())
+            .expect("replay succeeds");
+        let w = &report.workloads[0];
         assert_eq!(w.md.completed, 6_000);
         assert_eq!(w.hcsd.metrics.completed, 6_000);
         // §7.1: TPC-H "experiences very little performance loss".
@@ -123,7 +202,9 @@ mod tests {
     #[test]
     fn renders_mention_all_workloads() {
         let scale = Scale::quick().with_requests(1_500);
-        let study = run(scale);
+        let study = LimitStudy::all()
+            .run(scale, &Executor::new(2))
+            .expect("replay succeeds");
         let f2 = study.render_figure2();
         let f3 = study.render_figure3();
         for kind in WorkloadKind::ALL {

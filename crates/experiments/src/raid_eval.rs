@@ -9,10 +9,12 @@
 //! performance with a fraction of the disks, cutting power 41%–60%.
 
 use array::Layout;
+use diskmodel::DriveError;
 use intradisk::{DriveConfig, PowerBreakdown};
 use workload::SyntheticSpec;
 
 use crate::configs::{hcsd_params, Scale};
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::run_array;
 
@@ -60,65 +62,114 @@ pub struct RaidSweep {
     pub points: Vec<RaidPoint>,
 }
 
-/// The full Figure 8 study.
+/// The reduced Figure 8 study.
 #[derive(Debug, Clone)]
-pub struct RaidStudy {
+pub struct RaidReport {
     /// One sweep per load level.
     pub sweeps: Vec<RaidSweep>,
 }
 
-/// Runs one array configuration under one load.
-pub fn run_point(
-    inter_arrival_ms: f64,
-    member_actuators: u32,
-    disks: usize,
-    scale: Scale,
-) -> RaidPoint {
-    let params = hcsd_params();
-    // Fixed dataset: one HC-SD's worth of data, as in the limit study.
-    let spec = SyntheticSpec::paper(
-        inter_arrival_ms,
-        params.capacity_sectors(),
-        scale.requests,
-    );
-    let trace = spec.generate(scale.seed);
-    let mut r = run_array(
-        &params,
-        DriveConfig::sa(member_actuators),
-        disks,
-        Layout::striped_default(),
-        &trace,
-    );
-    RaidPoint {
-        member_actuators,
-        disks,
-        p90_ms: r.p90_ms(),
-        mean_ms: r.response_time_ms.mean(),
-        power: r.power,
+/// One sweep point: an array configuration under one load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaidPointSpec {
+    /// Mean inter-arrival time, ms.
+    pub inter_arrival_ms: f64,
+    /// Actuators per member drive.
+    pub member_actuators: u32,
+    /// Number of member disks.
+    pub disks: usize,
+}
+
+/// The RAID study driver (Figure 8).
+#[derive(Debug, Clone)]
+pub struct RaidStudy {
+    inter_arrivals_ms: Vec<f64>,
+}
+
+impl RaidStudy {
+    /// All three load levels.
+    pub fn all() -> Self {
+        RaidStudy { inter_arrivals_ms: INTER_ARRIVALS_MS.to_vec() }
+    }
+
+    /// A single load level (tests and focused runs).
+    pub fn only(inter_arrival_ms: f64) -> Self {
+        RaidStudy { inter_arrivals_ms: vec![inter_arrival_ms] }
     }
 }
 
-/// Runs the sweep for one load level.
-pub fn run_sweep(inter_arrival_ms: f64, scale: Scale) -> RaidSweep {
-    let mut points = Vec::new();
-    for &n in &MEMBER_ACTUATORS {
-        for &d in &DISK_COUNTS {
-            points.push(run_point(inter_arrival_ms, n, d, scale));
-        }
-    }
-    RaidSweep {
-        inter_arrival_ms,
-        points,
-    }
-}
+impl Study for RaidStudy {
+    type Point = RaidPointSpec;
+    type Output = (f64, RaidPoint);
+    type Report = RaidReport;
 
-/// Runs the full study (3 loads × 3 member types × 5 disk counts).
-pub fn run(scale: Scale) -> RaidStudy {
-    RaidStudy {
-        sweeps: INTER_ARRIVALS_MS
+    fn name(&self) -> &'static str {
+        "raid"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<RaidPointSpec> {
+        self.inter_arrivals_ms
             .iter()
-            .map(|&ia| run_sweep(ia, scale))
-            .collect(),
+            .flat_map(|&ia| {
+                MEMBER_ACTUATORS.iter().flat_map(move |&n| {
+                    DISK_COUNTS.iter().map(move |&d| RaidPointSpec {
+                        inter_arrival_ms: ia,
+                        member_actuators: n,
+                        disks: d,
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn label(&self, point: &RaidPointSpec) -> String {
+        format!(
+            "{} ms/SA({})/{} disks",
+            point.inter_arrival_ms, point.member_actuators, point.disks
+        )
+    }
+
+    fn run_point(
+        &self,
+        point: &RaidPointSpec,
+        scale: Scale,
+    ) -> Result<(f64, RaidPoint), DriveError> {
+        let params = hcsd_params();
+        // Fixed dataset: one HC-SD's worth of data, as in the limit study.
+        let spec = SyntheticSpec::paper(
+            point.inter_arrival_ms,
+            params.capacity_sectors(),
+            scale.requests,
+        );
+        let trace = spec.generate(scale.seed);
+        let r = run_array(
+            &params,
+            DriveConfig::sa(point.member_actuators),
+            point.disks,
+            Layout::striped_default(),
+            &trace,
+        )?;
+        Ok((
+            point.inter_arrival_ms,
+            RaidPoint {
+                member_actuators: point.member_actuators,
+                disks: point.disks,
+                p90_ms: r.p90_ms(),
+                mean_ms: r.response_time_ms.mean(),
+                power: r.power,
+            },
+        ))
+    }
+
+    fn reduce(&self, outputs: Vec<(f64, RaidPoint)>) -> RaidReport {
+        let mut sweeps: Vec<RaidSweep> = Vec::new();
+        for (ia, point) in outputs {
+            match sweeps.last_mut() {
+                Some(s) if s.inter_arrival_ms == ia => s.points.push(point),
+                _ => sweeps.push(RaidSweep { inter_arrival_ms: ia, points: vec![point] }),
+            }
+        }
+        RaidReport { sweeps }
     }
 }
 
@@ -152,7 +203,7 @@ impl RaidSweep {
     }
 }
 
-impl RaidStudy {
+impl RaidReport {
     /// Renders the three performance panels of Figure 8.
     pub fn render_performance(&self) -> String {
         let mut out = String::from(
@@ -165,15 +216,10 @@ impl RaidStudy {
                 .map(|&d| {
                     let mut row = vec![d.to_string()];
                     for &n in &MEMBER_ACTUATORS {
-                        let p = self
-                            .sweeps
+                        let p = sweep
+                            .points
                             .iter()
-                            .find(|s| s.inter_arrival_ms == sweep.inter_arrival_ms)
-                            .and_then(|s| {
-                                s.points
-                                    .iter()
-                                    .find(|p| p.member_actuators == n && p.disks == d)
-                            })
+                            .find(|p| p.member_actuators == n && p.disks == d)
                             .expect("full sweep");
                         row.push(format!("{:.1}", p.p90_ms));
                     }
@@ -227,26 +273,40 @@ impl RaidStudy {
 mod tests {
     use super::*;
 
+    fn point(ia: f64, actuators: u32, disks: usize, scale: Scale) -> RaidPoint {
+        RaidStudy::all()
+            .run_point(
+                &RaidPointSpec {
+                    inter_arrival_ms: ia,
+                    member_actuators: actuators,
+                    disks,
+                },
+                scale,
+            )
+            .expect("replay succeeds")
+            .1
+    }
+
     #[test]
     fn more_disks_improve_p90_under_heavy_load() {
         let scale = Scale::quick().with_requests(6_000);
-        let few = run_point(1.0, 1, 2, scale);
-        let many = run_point(1.0, 1, 8, scale);
+        let few = point(1.0, 1, 2, scale);
+        let many = point(1.0, 1, 8, scale);
         assert!(many.p90_ms < few.p90_ms);
     }
 
     #[test]
     fn parallel_members_beat_conventional_at_equal_disks() {
         let scale = Scale::quick().with_requests(6_000);
-        let conv = run_point(4.0, 1, 2, scale);
-        let sa4 = run_point(4.0, 4, 2, scale);
+        let conv = point(4.0, 1, 2, scale);
+        let sa4 = point(4.0, 4, 2, scale);
         assert!(sa4.p90_ms < conv.p90_ms);
     }
 
     #[test]
     fn point_labels() {
         let scale = Scale::quick().with_requests(500);
-        assert_eq!(run_point(8.0, 1, 4, scale).label(), "4 disks-HC-SD");
-        assert_eq!(run_point(8.0, 2, 2, scale).label(), "2 disks-SA(2)");
+        assert_eq!(point(8.0, 1, 4, scale).label(), "4 disks-HC-SD");
+        assert_eq!(point(8.0, 2, 2, scale).label(), "2 disks-SA(2)");
     }
 }

@@ -10,7 +10,9 @@
 use workload::WorkloadKind;
 
 use crate::configs::Scale;
-use crate::limit_study;
+use crate::exec::Executor;
+use crate::limit_study::LimitStudy;
+use crate::plan::Study;
 use crate::report;
 
 /// Mean and spread of a replicated measurement.
@@ -53,22 +55,30 @@ pub fn replicate(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> Replicated {
 /// The HC-SD/MD mean-response ratio for one workload, replicated over
 /// seeds. A ratio well above 1 is Figure 2's "severe performance
 /// loss"; near 1 is TPC-H's "very little loss".
-pub fn limit_ratio_robustness(kind: WorkloadKind, scale: Scale, seeds: &[u64]) -> Replicated {
+pub fn limit_ratio_robustness(
+    kind: WorkloadKind,
+    scale: Scale,
+    seeds: &[u64],
+    exec: &Executor,
+) -> Replicated {
     replicate(seeds, |seed| {
         let mut s = scale;
         s.seed = seed;
-        let w = limit_study::run_one(kind, s);
+        let report = LimitStudy::only(kind)
+            .run(s, exec)
+            .expect("limit study replays cleanly");
+        let w = &report.workloads[0];
         w.hcsd.metrics.response_time_ms.mean() / w.md.response_time_ms.mean()
     })
 }
 
 /// Renders the robustness table over the default seed set.
-pub fn render(scale: Scale, seeds: &[u64]) -> String {
+pub fn render(scale: Scale, seeds: &[u64], exec: &Executor) -> String {
     let headers = ["workload", "HC-SD/MD ratio", "stddev", "95% CI", "seeds"];
     let rows: Vec<Vec<String>> = WorkloadKind::ALL
         .iter()
         .map(|&kind| {
-            let r = limit_ratio_robustness(kind, scale, seeds);
+            let r = limit_ratio_robustness(kind, scale, seeds, exec);
             vec![
                 kind.name().to_string(),
                 format!("{:.2}", r.mean),
@@ -109,15 +119,16 @@ mod tests {
     fn figure2_conclusions_hold_across_seeds() {
         let scale = Scale::quick().with_requests(5_000);
         let seeds = [11, 22, 33];
+        let exec = Executor::new(2);
         // TPC-C degrades on every seed...
-        let c = limit_ratio_robustness(WorkloadKind::TpcC, scale, &seeds);
+        let c = limit_ratio_robustness(WorkloadKind::TpcC, scale, &seeds, &exec);
         assert!(
             c.samples.iter().all(|&r| r > 1.5),
             "TPC-C ratios {:?}",
             c.samples
         );
         // ...and TPC-H never degrades much, on every seed.
-        let h = limit_ratio_robustness(WorkloadKind::TpcH, scale, &seeds);
+        let h = limit_ratio_robustness(WorkloadKind::TpcH, scale, &seeds, &exec);
         assert!(
             h.samples.iter().all(|&r| r < 1.6),
             "TPC-H ratios {:?}",

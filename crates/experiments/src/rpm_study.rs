@@ -4,12 +4,13 @@
 //! extra actuators — cutting average power to or below a conventional
 //! drive's while still matching the MD array.
 
-use diskmodel::presets;
+use diskmodel::{presets, DriveError};
 use intradisk::{DriveConfig, PowerBreakdown};
 use simkit::Cdf;
 use workload::WorkloadKind;
 
 use crate::configs::{md_config, trace_for, Scale};
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
 
@@ -58,61 +59,178 @@ pub struct RpmResult {
     pub points: Vec<RpmPoint>,
 }
 
-/// The full reduced-RPM study.
+/// The reduced reduced-RPM study.
 #[derive(Debug, Clone)]
-pub struct RpmStudy {
+pub struct RpmReport {
     /// One result per workload.
     pub workloads: Vec<RpmResult>,
 }
 
-fn run_point(kind: WorkloadKind, scale: Scale, actuators: u32, rpm: u32) -> RpmPoint {
-    let trace = trace_for(kind, scale);
-    let params = presets::barracuda_es_at_rpm(rpm);
-    let mut r = run_drive(&params, DriveConfig::sa(actuators), &trace);
-    RpmPoint {
-        actuators,
-        rpm,
-        mean_ms: r.metrics.response_time_ms.mean(),
-        p90_ms: r.p90_ms(),
-        cdf: r.metrics.response_hist.cdf(),
-        power: r.power,
+/// One sweep point of the reduced-RPM study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpmPointSpec {
+    /// The MD reference array.
+    Md(WorkloadKind),
+    /// One `(actuators, rpm)` drive design; `(1, 7200)` is the HC-SD
+    /// baseline.
+    Design {
+        /// Which workload.
+        kind: WorkloadKind,
+        /// Number of actuators.
+        actuators: u32,
+        /// Spindle speed.
+        rpm: u32,
+    },
+}
+
+/// Output of one [`RpmPointSpec`].
+#[derive(Debug, Clone)]
+pub enum RpmOutput {
+    /// MD reference results.
+    Md {
+        /// Which workload.
+        kind: WorkloadKind,
+        /// MD response-time CDF.
+        cdf: Cdf,
+        /// MD mean response time, ms.
+        mean_ms: f64,
+    },
+    /// One drive design point.
+    Design(RpmPoint),
+}
+
+/// The reduced-RPM study driver (Figures 6 and 7).
+#[derive(Debug, Clone)]
+pub struct RpmStudy {
+    kinds: Vec<WorkloadKind>,
+}
+
+impl RpmStudy {
+    /// All four workloads, in the paper's order.
+    pub fn all() -> Self {
+        RpmStudy { kinds: WorkloadKind::ALL.to_vec() }
+    }
+
+    /// A single workload (tests and focused runs).
+    pub fn only(kind: WorkloadKind) -> Self {
+        RpmStudy { kinds: vec![kind] }
     }
 }
 
-/// Runs the RPM sweep for one workload.
-pub fn run_one(kind: WorkloadKind, scale: Scale) -> RpmResult {
-    let trace = trace_for(kind, scale);
-    let cfg = md_config(kind);
-    let md = run_array(
-        &cfg.drive,
-        DriveConfig::conventional(),
-        cfg.disks,
-        cfg.layout,
-        &trace,
-    );
-    let hcsd = run_point(kind, scale, 1, 7200);
-    let mut points = Vec::new();
-    for &rpm in &RPMS {
-        for &n in &ACTUATORS {
-            points.push(run_point(kind, scale, n, rpm));
+impl Study for RpmStudy {
+    type Point = RpmPointSpec;
+    type Output = RpmOutput;
+    type Report = RpmReport;
+
+    fn name(&self) -> &'static str {
+        "rpm"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<RpmPointSpec> {
+        self.kinds
+            .iter()
+            .flat_map(|&kind| {
+                // MD first, then the HC-SD baseline, then the 4×2 grid.
+                std::iter::once(RpmPointSpec::Md(kind))
+                    .chain(std::iter::once(RpmPointSpec::Design {
+                        kind,
+                        actuators: 1,
+                        rpm: 7200,
+                    }))
+                    .chain(RPMS.iter().flat_map(move |&rpm| {
+                        ACTUATORS
+                            .iter()
+                            .map(move |&actuators| RpmPointSpec::Design { kind, actuators, rpm })
+                    }))
+            })
+            .collect()
+    }
+
+    fn label(&self, point: &RpmPointSpec) -> String {
+        match point {
+            RpmPointSpec::Md(k) => format!("{}/MD", k.name()),
+            RpmPointSpec::Design { kind, actuators, rpm } => {
+                format!("{}/SA({actuators})/{rpm}", kind.name())
+            }
         }
     }
-    RpmResult {
-        kind,
-        md_cdf: md.response_hist.cdf(),
-        md_mean_ms: md.response_time_ms.mean(),
-        hcsd,
-        points,
-    }
-}
 
-/// Runs the study for all four workloads.
-pub fn run(scale: Scale) -> RpmStudy {
-    RpmStudy {
-        workloads: WorkloadKind::ALL
-            .iter()
-            .map(|&k| run_one(k, scale))
-            .collect(),
+    fn run_point(&self, point: &RpmPointSpec, scale: Scale) -> Result<RpmOutput, DriveError> {
+        match *point {
+            RpmPointSpec::Md(kind) => {
+                let trace = trace_for(kind, scale);
+                let cfg = md_config(kind);
+                let md = run_array(
+                    &cfg.drive,
+                    DriveConfig::conventional(),
+                    cfg.disks,
+                    cfg.layout,
+                    &trace,
+                )?;
+                Ok(RpmOutput::Md {
+                    kind,
+                    cdf: md.response_hist.cdf(),
+                    mean_ms: md.response_time_ms.mean(),
+                })
+            }
+            RpmPointSpec::Design { kind, actuators, rpm } => {
+                let trace = trace_for(kind, scale);
+                let params = presets::barracuda_es_at_rpm(rpm);
+                let r = run_drive(&params, DriveConfig::sa(actuators), &trace)?;
+                Ok(RpmOutput::Design(RpmPoint {
+                    actuators,
+                    rpm,
+                    mean_ms: r.metrics.response_time_ms.mean(),
+                    p90_ms: r.p90_ms(),
+                    cdf: r.metrics.response_hist.cdf(),
+                    power: r.power,
+                }))
+            }
+        }
+    }
+
+    fn reduce(&self, outputs: Vec<RpmOutput>) -> RpmReport {
+        struct Partial {
+            kind: WorkloadKind,
+            md_cdf: Cdf,
+            md_mean_ms: f64,
+            hcsd: Option<RpmPoint>,
+            points: Vec<RpmPoint>,
+        }
+        let mut partials: Vec<Partial> = Vec::new();
+        for out in outputs {
+            match out {
+                RpmOutput::Md { kind, cdf, mean_ms } => partials.push(Partial {
+                    kind,
+                    md_cdf: cdf,
+                    md_mean_ms: mean_ms,
+                    hcsd: None,
+                    points: Vec::new(),
+                }),
+                RpmOutput::Design(p) => {
+                    let w = partials.last_mut().expect("plan leads with MD");
+                    // The plan puts the HC-SD baseline immediately
+                    // after MD, then the 4×2 design grid.
+                    if w.hcsd.is_none() {
+                        w.hcsd = Some(p);
+                    } else {
+                        w.points.push(p);
+                    }
+                }
+            }
+        }
+        RpmReport {
+            workloads: partials
+                .into_iter()
+                .map(|p| RpmResult {
+                    kind: p.kind,
+                    md_cdf: p.md_cdf,
+                    md_mean_ms: p.md_mean_ms,
+                    hcsd: p.hcsd.expect("plan includes the HC-SD baseline"),
+                    points: p.points,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -127,7 +245,7 @@ impl RpmResult {
     }
 }
 
-impl RpmStudy {
+impl RpmReport {
     /// Renders Figure 6: power bars for every design point, per
     /// workload.
     pub fn render_figure6(&self) -> String {
@@ -180,11 +298,21 @@ impl RpmStudy {
 mod tests {
     use super::*;
 
+    fn design(kind: WorkloadKind, scale: Scale, actuators: u32, rpm: u32) -> RpmPoint {
+        let out = RpmStudy::only(kind)
+            .run_point(&RpmPointSpec::Design { kind, actuators, rpm }, scale)
+            .expect("replay succeeds");
+        match out {
+            RpmOutput::Design(p) => p,
+            other => panic!("expected a design point, got {other:?}"),
+        }
+    }
+
     #[test]
     fn lower_rpm_cuts_power_and_costs_latency() {
         let scale = Scale::quick().with_requests(6_000);
-        let hi = run_point(WorkloadKind::TpcC, scale, 4, 7200);
-        let lo = run_point(WorkloadKind::TpcC, scale, 4, 4200);
+        let hi = design(WorkloadKind::TpcC, scale, 4, 7200);
+        let lo = design(WorkloadKind::TpcC, scale, 4, 4200);
         assert!(lo.power.total_w() < hi.power.total_w() * 0.7);
         assert!(lo.mean_ms > hi.mean_ms);
     }
@@ -192,14 +320,23 @@ mod tests {
     #[test]
     fn more_actuators_offset_lower_rpm() {
         let scale = Scale::quick().with_requests(6_000);
-        let sa2 = run_point(WorkloadKind::TpcC, scale, 2, 4200);
-        let sa4 = run_point(WorkloadKind::TpcC, scale, 4, 4200);
+        let sa2 = design(WorkloadKind::TpcC, scale, 2, 4200);
+        let sa4 = design(WorkloadKind::TpcC, scale, 4, 4200);
         assert!(sa4.mean_ms < sa2.mean_ms);
     }
 
     #[test]
     fn figure7_lists_tpch_break_even() {
-        let r = run_one(WorkloadKind::TpcH, Scale::quick().with_requests(6_000));
+        let report = RpmStudy::only(WorkloadKind::TpcH)
+            .run(
+                Scale::quick().with_requests(6_000),
+                &crate::exec::Executor::serial(),
+            )
+            .expect("replay succeeds");
+        let r = &report.workloads[0];
+        assert_eq!(r.points.len(), 8, "4 RPMs x 2 actuator counts");
+        assert_eq!(r.hcsd.actuators, 1);
+        assert_eq!(r.hcsd.rpm, 7200);
         assert!(
             !r.break_even_points(1.25).is_empty(),
             "TPC-H should have reduced-RPM break-even designs (Figure 7)"
@@ -209,7 +346,7 @@ mod tests {
     #[test]
     fn labels() {
         let scale = Scale::quick().with_requests(1_000);
-        let p = run_point(WorkloadKind::TpcH, scale, 4, 5200);
+        let p = design(WorkloadKind::TpcH, scale, 4, 5200);
         assert_eq!(p.label(), "SA(4)/5200");
     }
 }

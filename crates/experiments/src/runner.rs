@@ -5,9 +5,14 @@
 //! [`run_array`] replays it against an [`ArrayController`]. Both close
 //! power accounting at the later of the last arrival and the last
 //! completion, so idle tails are charged correctly.
+//!
+//! The runners surface the drive/array state machines' typed
+//! [`DriveError`]s instead of panicking: a protocol violation aborts
+//! the *experiment point*, not the whole sweep, and the executor
+//! ([`crate::exec`]) reports which point failed.
 
 use array::{ArrayController, Layout};
-use diskmodel::DiskParams;
+use diskmodel::{DiskParams, DriveError};
 use intradisk::failure::FailureSchedule;
 use intradisk::{DiskDrive, DriveConfig, DriveMetrics, PowerBreakdown};
 use simkit::{EventQueue, SimDuration, SimTime, Summary};
@@ -26,7 +31,10 @@ pub struct DriveRunResult {
 
 impl DriveRunResult {
     /// The 90th-percentile response time in milliseconds.
-    pub fn p90_ms(&mut self) -> f64 {
+    ///
+    /// The run loop finalizes the summary when the replay ends, so this
+    /// is an indexed read on a shared reference.
+    pub fn p90_ms(&self) -> f64 {
         self.metrics.response_time_ms.percentile(90.0)
     }
 }
@@ -48,13 +56,20 @@ pub struct ArrayRunResult {
 
 impl ArrayRunResult {
     /// The 90th-percentile response time in milliseconds.
-    pub fn p90_ms(&mut self) -> f64 {
+    ///
+    /// The run loop finalizes the summary when the replay ends, so this
+    /// is an indexed read on a shared reference.
+    pub fn p90_ms(&self) -> f64 {
         self.response_time_ms.percentile(90.0)
     }
 }
 
 /// Replays `trace` against one drive.
-pub fn run_drive(params: &DiskParams, config: DriveConfig, trace: &Trace) -> DriveRunResult {
+pub fn run_drive(
+    params: &DiskParams,
+    config: DriveConfig,
+    trace: &Trace,
+) -> Result<DriveRunResult, DriveError> {
     run_drive_with_failures(params, config, trace, FailureSchedule::new())
 }
 
@@ -65,7 +80,7 @@ pub fn run_drive_with_failures(
     config: DriveConfig,
     trace: &Trace,
     mut failures: FailureSchedule,
-) -> DriveRunResult {
+) -> Result<DriveRunResult, DriveError> {
     let mut drive = DiskDrive::new(params, config);
     let mut completion: Option<SimTime> = None;
     let mut end = SimTime::ZERO;
@@ -84,23 +99,23 @@ pub fn run_drive_with_failures(
             i += 1;
             failures.apply_due(&mut drive, r.arrival);
             end = end.max(r.arrival);
-            if let Some(f) = drive.submit(r, r.arrival).expect("runner submits at arrival") {
+            if let Some(f) = drive.submit(r, r.arrival)? {
                 completion = Some(f);
             }
         } else {
             let c = completion.expect("completion pending");
             failures.apply_due(&mut drive, c);
-            let (done, next) = drive.complete(c).expect("runner completes at promised time");
+            let (done, next) = drive.complete(c)?;
             end = end.max(done.completed);
             completion = next;
         }
     }
     drive.finalize(end);
-    DriveRunResult {
+    Ok(DriveRunResult {
         power: drive.power_breakdown(),
         metrics: drive.metrics().clone(),
         duration: end.saturating_since(SimTime::ZERO),
-    }
+    })
 }
 
 /// Replays `trace` against an array of `disks` drives of model
@@ -111,7 +126,7 @@ pub fn run_array(
     disks: usize,
     layout: Layout,
     trace: &Trace,
-) -> ArrayRunResult {
+) -> Result<ArrayRunResult, DriveError> {
     let mut array = ArrayController::new(params, member, disks, layout);
     let mut events: EventQueue<usize> = EventQueue::new();
     let mut end = SimTime::ZERO;
@@ -129,15 +144,13 @@ pub fn run_array(
             let r = reqs[i];
             i += 1;
             end = end.max(r.arrival);
-            for (disk, t) in array.submit(r, r.arrival).expect("runner submits at arrival") {
+            for (disk, t) in array.submit(r, r.arrival)? {
                 events.push(t, disk);
             }
         } else {
             let ev = events.pop().expect("event pending");
             end = end.max(ev.time);
-            let out = array
-                .on_disk_complete(ev.payload, ev.time)
-                .expect("runner completes at promised time");
+            let out = array.on_disk_complete(ev.payload, ev.time)?;
             if let Some(t) = out.next_on_disk {
                 events.push(t, ev.payload);
             }
@@ -148,13 +161,13 @@ pub fn run_array(
     }
     array.finalize(end);
     let m = array.metrics();
-    ArrayRunResult {
+    Ok(ArrayRunResult {
         response_time_ms: m.response_time_ms.clone(),
         response_hist: m.response_hist.clone(),
         power: array.power_breakdown(),
         duration: end.saturating_since(SimTime::ZERO),
         completed: m.completed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +187,8 @@ mod tests {
             &presets::barracuda_es_750gb(),
             DriveConfig::conventional(),
             &t,
-        );
+        )
+        .expect("replay succeeds");
         assert_eq!(r.metrics.completed, 2_000);
         assert!(r.duration > SimDuration::ZERO);
         assert!(r.power.total_w() > 0.0);
@@ -189,7 +203,8 @@ mod tests {
             4,
             Layout::striped_default(),
             &t,
-        );
+        )
+        .expect("replay succeeds");
         assert_eq!(r.completed, 2_000);
         assert!(r.power.total_w() > 0.0);
     }
@@ -203,14 +218,16 @@ mod tests {
             &presets::barracuda_es_750gb(),
             DriveConfig::conventional(),
             &t,
-        );
+        )
+        .expect("replay succeeds");
         let a = run_array(
             &presets::barracuda_es_750gb(),
             DriveConfig::conventional(),
             1,
             Layout::Concatenated,
             &t,
-        );
+        )
+        .expect("replay succeeds");
         let dm = d.metrics.response_time_ms.mean();
         let am = a.response_time_ms.mean();
         assert!((dm - am).abs() / dm < 0.05, "drive {dm} vs array {am}");
@@ -220,10 +237,11 @@ mod tests {
     fn failure_mid_run_degrades_but_completes() {
         let t = small_trace(6.0, 2_000);
         let params = presets::barracuda_es_750gb();
-        let healthy = run_drive(&params, DriveConfig::sa(2), &t);
+        let healthy = run_drive(&params, DriveConfig::sa(2), &t).expect("replay succeeds");
         let mut sched = FailureSchedule::new();
         sched.push(SimTime::ZERO, 1); // lose the second arm immediately
-        let degraded = run_drive_with_failures(&params, DriveConfig::sa(2), &t, sched);
+        let degraded = run_drive_with_failures(&params, DriveConfig::sa(2), &t, sched)
+            .expect("replay succeeds");
         assert_eq!(degraded.metrics.completed, 2_000);
         assert!(
             degraded.metrics.response_time_ms.mean() >= healthy.metrics.response_time_ms.mean(),

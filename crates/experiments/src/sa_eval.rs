@@ -4,11 +4,13 @@
 //! side statistics — the fraction of non-zero seeks (which *rises* with
 //! more actuators) and the average power (Figure 6's 7200-RPM bars).
 
+use diskmodel::DriveError;
 use intradisk::{DriveConfig, PowerBreakdown};
 use simkit::{Cdf, Pdf};
 use workload::WorkloadKind;
 
 use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
 
@@ -41,59 +43,155 @@ pub struct SaResult {
     pub power: Vec<PowerBreakdown>,
 }
 
-/// The full Figure 5 study.
+/// The reduced Figure 5 study.
 #[derive(Debug, Clone)]
-pub struct SaStudy {
+pub struct SaReport {
     /// One result per workload.
     pub workloads: Vec<SaResult>,
 }
 
-/// Runs HC-SD-SA(n) for one workload.
-pub fn run_one(kind: WorkloadKind, scale: Scale) -> SaResult {
-    let trace = trace_for(kind, scale);
-    let cfg = md_config(kind);
-    let md = run_array(
-        &cfg.drive,
-        DriveConfig::conventional(),
-        cfg.disks,
-        cfg.layout,
-        &trace,
-    );
-    let mut cdfs = Vec::new();
-    let mut pdfs = Vec::new();
-    let mut means = Vec::new();
-    let mut rots = Vec::new();
-    let mut nz = Vec::new();
-    let mut power = Vec::new();
-    for &n in &ACTUATORS {
-        let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace);
-        cdfs.push(r.metrics.response_hist.cdf());
-        pdfs.push(r.metrics.rotational_hist.pdf());
-        means.push(r.metrics.response_time_ms.mean());
-        rots.push(r.metrics.rotational_ms.mean());
-        nz.push(r.metrics.nonzero_seek_fraction());
-        power.push(r.power);
+/// One sweep point of the HC-SD-SA(n) evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaPoint {
+    /// The MD reference array.
+    Md(WorkloadKind),
+    /// HC-SD-SA(n) with the given actuator count.
+    Sa(WorkloadKind, u32),
+}
+
+/// Output of one [`SaPoint`].
+#[derive(Debug, Clone)]
+pub enum SaOutput {
+    /// MD reference results.
+    Md {
+        /// Which workload.
+        kind: WorkloadKind,
+        /// MD response-time CDF.
+        cdf: Cdf,
+        /// MD mean response time, ms.
+        mean_ms: f64,
+    },
+    /// One actuator-count design point.
+    Sa {
+        /// Response-time CDF.
+        cdf: Cdf,
+        /// Rotational-latency PDF.
+        pdf: Pdf,
+        /// Mean response time, ms.
+        mean_ms: f64,
+        /// Mean rotational latency, ms.
+        rot_mean_ms: f64,
+        /// Fraction of media accesses with a non-zero seek.
+        nonzero_seek: f64,
+        /// Average power breakdown.
+        power: PowerBreakdown,
+    },
+}
+
+/// The HC-SD-SA(n) study driver (Figure 5 + Figure 6's 7200-RPM bars).
+#[derive(Debug, Clone)]
+pub struct SaStudy {
+    kinds: Vec<WorkloadKind>,
+}
+
+impl SaStudy {
+    /// All four workloads, in the paper's order.
+    pub fn all() -> Self {
+        SaStudy { kinds: WorkloadKind::ALL.to_vec() }
     }
-    SaResult {
-        kind,
-        md_cdf: md.response_hist.cdf(),
-        md_mean_ms: md.response_time_ms.mean(),
-        cdfs,
-        pdfs,
-        means_ms: means,
-        rot_means_ms: rots,
-        nonzero_seek_fraction: nz,
-        power,
+
+    /// A single workload (tests and focused runs).
+    pub fn only(kind: WorkloadKind) -> Self {
+        SaStudy { kinds: vec![kind] }
     }
 }
 
-/// Runs the study for all four workloads.
-pub fn run(scale: Scale) -> SaStudy {
-    SaStudy {
-        workloads: WorkloadKind::ALL
+impl Study for SaStudy {
+    type Point = SaPoint;
+    type Output = SaOutput;
+    type Report = SaReport;
+
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<SaPoint> {
+        self.kinds
             .iter()
-            .map(|&k| run_one(k, scale))
-            .collect(),
+            .flat_map(|&k| {
+                std::iter::once(SaPoint::Md(k))
+                    .chain(ACTUATORS.iter().map(move |&n| SaPoint::Sa(k, n)))
+            })
+            .collect()
+    }
+
+    fn label(&self, point: &SaPoint) -> String {
+        match point {
+            SaPoint::Md(k) => format!("{}/MD", k.name()),
+            SaPoint::Sa(k, n) => format!("{}/SA({n})", k.name()),
+        }
+    }
+
+    fn run_point(&self, point: &SaPoint, scale: Scale) -> Result<SaOutput, DriveError> {
+        match *point {
+            SaPoint::Md(kind) => {
+                let trace = trace_for(kind, scale);
+                let cfg = md_config(kind);
+                let md = run_array(
+                    &cfg.drive,
+                    DriveConfig::conventional(),
+                    cfg.disks,
+                    cfg.layout,
+                    &trace,
+                )?;
+                Ok(SaOutput::Md {
+                    kind,
+                    cdf: md.response_hist.cdf(),
+                    mean_ms: md.response_time_ms.mean(),
+                })
+            }
+            SaPoint::Sa(kind, n) => {
+                let trace = trace_for(kind, scale);
+                let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace)?;
+                Ok(SaOutput::Sa {
+                    cdf: r.metrics.response_hist.cdf(),
+                    pdf: r.metrics.rotational_hist.pdf(),
+                    mean_ms: r.metrics.response_time_ms.mean(),
+                    rot_mean_ms: r.metrics.rotational_ms.mean(),
+                    nonzero_seek: r.metrics.nonzero_seek_fraction(),
+                    power: r.power,
+                })
+            }
+        }
+    }
+
+    fn reduce(&self, outputs: Vec<SaOutput>) -> SaReport {
+        let mut workloads: Vec<SaResult> = Vec::new();
+        for out in outputs {
+            match out {
+                SaOutput::Md { kind, cdf, mean_ms } => workloads.push(SaResult {
+                    kind,
+                    md_cdf: cdf,
+                    md_mean_ms: mean_ms,
+                    cdfs: Vec::new(),
+                    pdfs: Vec::new(),
+                    means_ms: Vec::new(),
+                    rot_means_ms: Vec::new(),
+                    nonzero_seek_fraction: Vec::new(),
+                    power: Vec::new(),
+                }),
+                SaOutput::Sa { cdf, pdf, mean_ms, rot_mean_ms, nonzero_seek, power } => {
+                    let w = workloads.last_mut().expect("plan leads with MD");
+                    w.cdfs.push(cdf);
+                    w.pdfs.push(pdf);
+                    w.means_ms.push(mean_ms);
+                    w.rot_means_ms.push(rot_mean_ms);
+                    w.nonzero_seek_fraction.push(nonzero_seek);
+                    w.power.push(power);
+                }
+            }
+        }
+        SaReport { workloads }
     }
 }
 
@@ -109,7 +207,7 @@ impl SaResult {
     }
 }
 
-impl SaStudy {
+impl SaReport {
     /// Renders Figure 5's top row (response-time CDFs).
     pub fn render_cdfs(&self) -> String {
         let mut out = String::from(
@@ -167,10 +265,14 @@ impl SaStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Executor;
 
     #[test]
     fn actuators_monotonically_improve_tpcc() {
-        let r = run_one(WorkloadKind::TpcC, Scale::quick().with_requests(8_000));
+        let report = SaStudy::only(WorkloadKind::TpcC)
+            .run(Scale::quick().with_requests(8_000), &Executor::serial())
+            .expect("replay succeeds");
+        let r = &report.workloads[0];
         for w in r.means_ms.windows(2) {
             assert!(w[1] <= w[0] * 1.02, "means not improving: {:?}", r.means_ms);
         }
@@ -181,8 +283,9 @@ mod tests {
 
     #[test]
     fn renders_include_breakeven_note() {
-        let r = run_one(WorkloadKind::TpcH, Scale::quick().with_requests(2_000));
-        let study = SaStudy { workloads: vec![r] };
+        let study = SaStudy::only(WorkloadKind::TpcH)
+            .run(Scale::quick().with_requests(2_000), &Executor::new(2))
+            .expect("replay succeeds");
         let s = study.render_cdfs();
         assert!(s.contains("breaks even") || s.contains("does not break even"));
         assert!(study.render_pdfs().contains("non-zero-seek"));

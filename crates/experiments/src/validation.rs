@@ -20,10 +20,12 @@
 //!
 //! [`SeekProfile::mean_random_seek`]: diskmodel::SeekProfile::mean_random_seek
 
-use diskmodel::{presets, SeekProfile};
+use diskmodel::{presets, DriveError, SeekProfile};
 use intradisk::{DiskDrive, DriveConfig, IoKind, IoRequest, QueuePolicy};
 use simkit::{Rng64, SimDuration, SimTime};
 
+use crate::configs::Scale;
+use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 
 /// One validation check.
@@ -51,7 +53,7 @@ impl ValidationRow {
     }
 }
 
-fn replay(drive: &mut DiskDrive, reqs: &[IoRequest]) {
+fn replay(drive: &mut DiskDrive, reqs: &[IoRequest]) -> Result<(), DriveError> {
     let mut completion: Option<SimTime> = None;
     let mut i = 0;
     loop {
@@ -65,16 +67,15 @@ fn replay(drive: &mut DiskDrive, reqs: &[IoRequest]) {
         if take {
             let r = reqs[i];
             i += 1;
-            if let Some(f) = drive.submit(r, r.arrival).expect("replay submits at arrival") {
+            if let Some(f) = drive.submit(r, r.arrival)? {
                 completion = Some(f);
             }
         } else {
-            let (_, next) = drive
-                .complete(completion.expect("pending"))
-                .expect("replay completes at promised time");
+            let (_, next) = drive.complete(completion.expect("pending"))?;
             completion = next;
         }
     }
+    Ok(())
 }
 
 fn random_reads(cap: u64, n: u64, gap_ms: f64, seed: u64) -> Vec<IoRequest> {
@@ -93,7 +94,7 @@ fn random_reads(cap: u64, n: u64, gap_ms: f64, seed: u64) -> Vec<IoRequest> {
 }
 
 /// Check 1: FCFS random access sees a mean rotational wait of `T/2`.
-pub fn check_rotational_latency() -> ValidationRow {
+pub fn check_rotational_latency() -> Result<ValidationRow, DriveError> {
     let params = presets::barracuda_es_750gb();
     let mut drive = DiskDrive::new(
         &params,
@@ -101,18 +102,18 @@ pub fn check_rotational_latency() -> ValidationRow {
     );
     // Light load so there is no queue for FCFS to reorder anyway.
     let reqs = random_reads(drive.capacity_sectors(), 4_000, 25.0, 11);
-    replay(&mut drive, &reqs);
-    ValidationRow {
+    replay(&mut drive, &reqs)?;
+    Ok(ValidationRow {
         check: "mean rotational wait, FCFS random (T/2)".to_string(),
         analytic: params.rotation_period().as_millis() / 2.0,
         simulated: drive.metrics().rotational_ms.mean(),
         tolerance: 0.05,
-    }
+    })
 }
 
 /// Check 2: simulated seeks over random targets match the curve's own
 /// expectation over random cylinder pairs.
-pub fn check_mean_seek() -> ValidationRow {
+pub fn check_mean_seek() -> Result<ValidationRow, DriveError> {
     let params = presets::barracuda_es_750gb();
     let profile = SeekProfile::new(&params);
     let mut drive = DiskDrive::new(
@@ -120,20 +121,20 @@ pub fn check_mean_seek() -> ValidationRow {
         DriveConfig::conventional().with_policy(QueuePolicy::Fcfs),
     );
     let reqs = random_reads(drive.capacity_sectors(), 4_000, 25.0, 12);
-    replay(&mut drive, &reqs);
-    ValidationRow {
+    replay(&mut drive, &reqs)?;
+    Ok(ValidationRow {
         check: "mean seek, FCFS random (curve expectation)".to_string(),
         analytic: profile.mean_random_seek().as_millis(),
         simulated: drive.metrics().seek_ms.mean(),
         // LBAs are uniform over *sectors* (outer cylinders hold more),
         // so the simulated distribution is mildly outer-weighted.
         tolerance: 0.10,
-    }
+    })
 }
 
 /// Check 3: `k` equally spaced assemblies parked on the cylinder cut
 /// the expected wait to `T/2k`.
-pub fn check_multi_azimuth(k: u32) -> ValidationRow {
+pub fn check_multi_azimuth(k: u32) -> Result<ValidationRow, DriveError> {
     use intradisk::service::{LatencyScaling, Mechanics};
     let params = presets::barracuda_es_750gb();
     let mech = Mechanics::new(&params);
@@ -149,22 +150,20 @@ pub fn check_multi_azimuth(k: u32) -> ValidationRow {
             .map(|a| intradisk::service::ArmState { cylinder: cyl, ..a })
             .collect();
         let now = SimTime::from_nanos(i as u64 * 1_734_967 + rng.below(1_000_000));
-        let plan = mech
-            .plan(&arms, lba, 1, now, LatencyScaling::none())
-            .expect("live arms present");
+        let plan = mech.plan(&arms, lba, 1, now, LatencyScaling::none())?;
         total += plan.rotational.as_millis();
     }
-    ValidationRow {
+    Ok(ValidationRow {
         check: format!("mean rotational wait, {k} parked assemblies (T/2k)"),
         analytic: params.rotation_period().as_millis() / (2.0 * k as f64),
         simulated: total / n as f64,
         tolerance: 0.05,
-    }
+    })
 }
 
 /// Check 4: response-time growth with utilization follows the
 /// Pollaczek–Khinchine shape for an M/G/1 queue.
-pub fn check_queueing_growth() -> ValidationRow {
+pub fn check_queueing_growth() -> Result<ValidationRow, DriveError> {
     // Use zero-scaled mechanics so service time is the constant
     // controller overhead + transfer: a near-deterministic M/D/1.
     use intradisk::LatencyScaling;
@@ -183,15 +182,12 @@ pub fn check_queueing_growth() -> ValidationRow {
     // Measure the fixed service time from an isolated request.
     let mut probe = make();
     let r0 = IoRequest::new(0, SimTime::ZERO, 0, 1, IoKind::Read);
-    let f = probe
-        .submit(r0, SimTime::ZERO)
-        .expect("probe submits at arrival")
-        .expect("idle");
+    let f = probe.submit(r0, SimTime::ZERO)?.expect("idle drive serves immediately");
     let service_ms = (f - SimTime::ZERO).as_millis();
-    let _ = probe.complete(f).expect("probe completes at promised time");
+    let _ = probe.complete(f)?;
 
     // Run at two utilizations with Poisson arrivals.
-    let run = |rho: f64, seed: u64| -> f64 {
+    let run = |rho: f64, seed: u64| -> Result<f64, DriveError> {
         let mut drive = make();
         let mut rng = Rng64::new(seed);
         let mean_gap = service_ms / rho;
@@ -204,87 +200,169 @@ pub fn check_queueing_growth() -> ValidationRow {
                 IoRequest::new(i, t, (i * 1_000_003) % drive.capacity_sectors(), 1, IoKind::Write)
             })
             .collect();
-        replay(&mut drive, &reqs);
-        drive.metrics().response_time_ms.mean() - service_ms
+        replay(&mut drive, &reqs)?;
+        Ok(drive.metrics().response_time_ms.mean() - service_ms)
     };
-    let w_low = run(0.3, 14);
-    let w_high = run(0.7, 15);
+    let w_low = run(0.3, 14)?;
+    let w_high = run(0.7, 15)?;
     // M/D/1 waiting time: W = rho * S / (2 (1 - rho)).
     let md1 = |rho: f64| rho * service_ms / (2.0 * (1.0 - rho));
-    ValidationRow {
+    Ok(ValidationRow {
         check: "M/D/1 wait growth, rho 0.3 -> 0.7 (P-K ratio)".to_string(),
         analytic: md1(0.7) / md1(0.3),
         simulated: w_high / w_low,
         tolerance: 0.15,
+    })
+}
+
+/// One validation check, as a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationCheck {
+    /// Check 1: `T/2` rotational wait.
+    RotationalLatency,
+    /// Check 2: mean random seek.
+    MeanSeek,
+    /// Check 3: `T/2k` with `k` parked assemblies.
+    MultiAzimuth(u32),
+    /// Check 4: P-K queueing growth.
+    QueueingGrowth,
+}
+
+/// The reduced validation report.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// One row per check.
+    pub rows: Vec<ValidationRow>,
+}
+
+impl ValidationReport {
+    /// True if every check passes.
+    pub fn all_pass(&self) -> bool {
+        self.rows.iter().all(|r| r.passes())
+    }
+
+    /// Renders the validation table.
+    pub fn render(&self) -> String {
+        let headers = ["check", "analytic", "simulated", "rel err", "pass"];
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.check.clone(),
+                    format!("{:.4}", r.analytic),
+                    format!("{:.4}", r.simulated),
+                    format!("{:.2}%", r.relative_error() * 100.0),
+                    if r.passes() { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Model validation against closed-form results\n{}",
+            report::table(&headers, &cells)
+        )
     }
 }
 
-/// Runs every validation check.
-pub fn run_all() -> Vec<ValidationRow> {
-    vec![
-        check_rotational_latency(),
-        check_mean_seek(),
-        check_multi_azimuth(2),
-        check_multi_azimuth(4),
-        check_queueing_growth(),
-    ]
+/// The validation study driver.
+///
+/// The checks pin their own request counts and seeds (they validate
+/// against closed-form constants, not the paper's traces), so the
+/// [`Scale`] is ignored.
+#[derive(Debug, Clone)]
+pub struct ValidationStudy;
+
+impl ValidationStudy {
+    /// All five checks.
+    pub fn all() -> Self {
+        ValidationStudy
+    }
 }
 
-/// Renders the validation report.
-pub fn render() -> String {
-    let rows = run_all();
-    let headers = ["check", "analytic", "simulated", "rel err", "pass"];
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.check.clone(),
-                format!("{:.4}", r.analytic),
-                format!("{:.4}", r.simulated),
-                format!("{:.2}%", r.relative_error() * 100.0),
-                if r.passes() { "yes" } else { "NO" }.to_string(),
-            ]
-        })
-        .collect();
-    format!(
-        "Model validation against closed-form results\n{}",
-        report::table(&headers, &cells)
-    )
+impl Study for ValidationStudy {
+    type Point = ValidationCheck;
+    type Output = ValidationRow;
+    type Report = ValidationReport;
+
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn plan(&self, _scale: Scale) -> ExperimentPlan<ValidationCheck> {
+        ExperimentPlan::new(vec![
+            ValidationCheck::RotationalLatency,
+            ValidationCheck::MeanSeek,
+            ValidationCheck::MultiAzimuth(2),
+            ValidationCheck::MultiAzimuth(4),
+            ValidationCheck::QueueingGrowth,
+        ])
+    }
+
+    fn label(&self, point: &ValidationCheck) -> String {
+        match point {
+            ValidationCheck::RotationalLatency => "rotational T/2".to_string(),
+            ValidationCheck::MeanSeek => "mean seek".to_string(),
+            ValidationCheck::MultiAzimuth(k) => format!("multi-azimuth T/2k, k={k}"),
+            ValidationCheck::QueueingGrowth => "P-K queueing growth".to_string(),
+        }
+    }
+
+    fn run_point(
+        &self,
+        point: &ValidationCheck,
+        _scale: Scale,
+    ) -> Result<ValidationRow, DriveError> {
+        match *point {
+            ValidationCheck::RotationalLatency => check_rotational_latency(),
+            ValidationCheck::MeanSeek => check_mean_seek(),
+            ValidationCheck::MultiAzimuth(k) => check_multi_azimuth(k),
+            ValidationCheck::QueueingGrowth => check_queueing_growth(),
+        }
+    }
+
+    fn reduce(&self, outputs: Vec<ValidationRow>) -> ValidationReport {
+        ValidationReport { rows: outputs }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Executor;
 
     #[test]
     fn rotational_latency_is_half_revolution() {
-        let r = check_rotational_latency();
+        let r = check_rotational_latency().expect("replay succeeds");
         assert!(r.passes(), "{r:?}");
     }
 
     #[test]
     fn mean_seek_matches_curve() {
-        let r = check_mean_seek();
+        let r = check_mean_seek().expect("replay succeeds");
         assert!(r.passes(), "{r:?}");
     }
 
     #[test]
     fn multi_azimuth_scaling() {
         for k in [2, 4] {
-            let r = check_multi_azimuth(k);
+            let r = check_multi_azimuth(k).expect("live arms present");
             assert!(r.passes(), "{r:?}");
         }
     }
 
     #[test]
     fn queueing_growth_follows_pk() {
-        let r = check_queueing_growth();
+        let r = check_queueing_growth().expect("replay succeeds");
         assert!(r.passes(), "{r:?}");
     }
 
     #[test]
     fn render_reports_all_checks() {
-        let s = render();
+        let report = ValidationStudy::all()
+            .run(Scale::quick(), &Executor::new(2))
+            .expect("checks run");
+        assert!(report.all_pass(), "{report:?}");
+        let s = report.render();
         assert_eq!(s.matches("yes").count() + s.matches("NO").count(), 5);
     }
 }

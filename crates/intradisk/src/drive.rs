@@ -425,6 +425,7 @@ impl DiskDrive {
         );
         close_idle_span(&mut self.metrics.modes, self.idle_since, end);
         self.idle_since = end;
+        self.metrics.finalize();
     }
 
     /// Average-power breakdown over the accounted time.

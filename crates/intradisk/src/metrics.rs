@@ -110,6 +110,14 @@ impl DriveMetrics {
         }
     }
 
+    /// Sorts the sample summaries so percentile queries are indexed
+    /// reads; called once when a run ends (`DiskDrive::finalize`).
+    pub fn finalize(&mut self) {
+        self.response_time_ms.finalize();
+        self.rotational_ms.finalize();
+        self.seek_ms.finalize();
+    }
+
     /// Fraction of media accesses with a non-zero seek.
     pub fn nonzero_seek_fraction(&self) -> f64 {
         if self.media_accesses == 0 {

@@ -4,6 +4,12 @@
 //! million requests, i.e. tens of megabytes), which lets it report exact
 //! percentiles — Figure 8 is plotted in terms of the 90th percentile of
 //! the response time, so percentile accuracy matters.
+//!
+//! Percentile queries take `&self`: a producer that is done recording
+//! calls [`Summary::finalize`] once (the simulators do this when a run
+//! ends), after which every percentile is an O(1) indexed read. An
+//! unfinalized summary still answers correctly via a sorted scratch
+//! copy, so readers never need mutable access.
 
 /// Collects `f64` samples and reports mean/min/max/percentiles.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -67,23 +73,44 @@ impl Summary {
         }
     }
 
+    /// Sorts the sample store so subsequent [`percentile`] calls are
+    /// O(1) indexed reads. Idempotent; recording afterwards re-marks
+    /// the summary unsorted. The run loops call this once when a
+    /// replay ends.
+    ///
+    /// [`percentile`]: Summary::percentile
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
     /// The `p`-th percentile (0 < p <= 100) by the nearest-rank method,
     /// or 0 if empty.
     ///
+    /// On a [`finalize`]d summary this is an indexed read; otherwise it
+    /// sorts a scratch copy of the samples (correct but O(n log n) per
+    /// call).
+    ///
+    /// [`finalize`]: Summary::finalize
+    ///
     /// # Panics
     /// Panics if `p` is outside `(0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
         if self.samples.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(f64::total_cmp);
-            self.sorted = true;
-        }
         let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1)]
+        let idx = rank.saturating_sub(1);
+        if self.sorted {
+            self.samples[idx]
+        } else {
+            let mut scratch = self.samples.clone();
+            scratch.sort_by(f64::total_cmp);
+            scratch[idx]
+        }
     }
 
     /// Sample standard deviation, or 0 if fewer than two samples.
@@ -116,7 +143,7 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zeroes() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min(), 0.0);
@@ -146,6 +173,26 @@ mod tests {
         s.record(30.0);
         // Re-sorts after new data.
         assert_eq!(s.percentile(100.0), 30.0);
+    }
+
+    #[test]
+    fn finalize_caches_and_survives_new_records() {
+        let mut s = Summary::new();
+        for v in [5.0, 1.0, 9.0, 3.0] {
+            s.record(v);
+        }
+        let before = s.percentile(50.0);
+        s.finalize();
+        // Finalized reads agree with the unfinalized scratch path.
+        assert_eq!(s.percentile(50.0), before);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert_eq!(s.mean(), 4.5);
+        // Recording after finalize invalidates the cache correctly.
+        s.record(0.5);
+        assert_eq!(s.percentile(1.0), 0.5);
+        s.finalize();
+        assert_eq!(s.percentile(1.0), 0.5);
+        assert_eq!(s.percentile(100.0), 9.0);
     }
 
     #[test]

@@ -87,6 +87,15 @@ pub const RULES: &[RuleInfo] = &[
                ambient generators make runs irreproducible",
     },
     RuleInfo {
+        name: "no-thread-in-sim",
+        crates: SIM_CRATES,
+        lib_only: false,
+        desc: "OS threads interleave nondeterministically; simulation code must stay \
+               single-threaded — concurrency is confined to the experiments executor \
+               (exec.rs), which collects results in plan order and carries per-line \
+               allow comments",
+    },
+    RuleInfo {
         name: "no-panic-in-lib",
         crates: CORE_CRATES,
         lib_only: true,
@@ -216,6 +225,30 @@ pub fn check(rule: &RuleInfo, file: &str, toks: &[Tok], skip: &dyn Fn(usize) -> 
                         t,
                         format!(
                             "ambient RNG `{}`; thread a forked simkit::rng::Rng64 stream instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        "no-thread-in-sim" => {
+            for (i, t) in toks.iter().enumerate() {
+                if skip(i) {
+                    continue;
+                }
+                // The module path (`std::thread::`, `use std::thread`)
+                // rather than the bare word, so locals named `thread`
+                // are left alone.
+                let thread_path = t.is_ident("thread")
+                    && (toks.get(i + 1).map(|n| n.is_op("::")).unwrap_or(false)
+                        || (i > 0 && toks[i - 1].is_op("::")));
+                if thread_path || t.is_ident("JoinHandle") {
+                    push(
+                        t,
+                        format!(
+                            "`{}` spawns or handles OS threads; simulation code must stay \
+                             single-threaded (the experiments executor is the one sanctioned \
+                             user, with a justified allow comment)",
                             t.text
                         ),
                     );
@@ -358,6 +391,17 @@ mod tests {
         assert!(run("no-ambient-rng", "let mut r = Rng64::new(42).fork();").is_empty());
         // `rand` as a plain word (no path) is left alone.
         assert!(run("no-ambient-rng", "let rand = 3;").is_empty());
+    }
+
+    #[test]
+    fn thread_hits() {
+        assert_eq!(run("no-thread-in-sim", "use std::thread;").len(), 1);
+        // `std::thread::scope` mentions `thread` with `::` on both
+        // sides — still one finding per token occurrence.
+        assert_eq!(run("no-thread-in-sim", "std::thread::scope(|s| {});").len(), 1);
+        assert_eq!(run("no-thread-in-sim", "let h: JoinHandle<()> = f();").len(), 1);
+        // A local named `thread` is not a thread API.
+        assert!(run("no-thread-in-sim", "let thread = 3; f(thread);").is_empty());
     }
 
     #[test]

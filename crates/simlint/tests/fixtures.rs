@@ -90,6 +90,16 @@ fn no_float_eq_fixture() {
 }
 
 #[test]
+fn no_thread_in_sim_fixture() {
+    let src = include_str!("fixtures/no_thread_in_sim.rs");
+    assert_eq!(
+        findings("no_thread_in_sim.rs", src, &lib("experiments")),
+        [(5, "no-thread-in-sim")],
+        "thread::spawn fires; the allowed scope, a local named thread, and test code do not"
+    );
+}
+
+#[test]
 fn unit_suffix_fixture() {
     let src = include_str!("fixtures/unit_suffix.rs");
     assert_eq!(
@@ -115,7 +125,7 @@ fn every_fixture_violation_fires_without_its_allowances() {
     // Belt and braces: each violating fixture must produce at least one
     // finding under its target class, so the positive arms above cannot
     // silently rot into all-clean files.
-    let cases: [(&str, &str, &str); 6] = [
+    let cases: [(&str, &str, &str); 7] = [
         ("no_wall_clock.rs", include_str!("fixtures/no_wall_clock.rs"), "simkit"),
         (
             "no_unordered_iteration.rs",
@@ -125,6 +135,11 @@ fn every_fixture_violation_fires_without_its_allowances() {
         ("no_ambient_rng.rs", include_str!("fixtures/no_ambient_rng.rs"), "workload"),
         ("no_panic_in_lib.rs", include_str!("fixtures/no_panic_in_lib.rs"), "array"),
         ("no_float_eq.rs", include_str!("fixtures/no_float_eq.rs"), "simkit"),
+        (
+            "no_thread_in_sim.rs",
+            include_str!("fixtures/no_thread_in_sim.rs"),
+            "experiments",
+        ),
         ("unit_suffix.rs", include_str!("fixtures/unit_suffix.rs"), "diskmodel"),
     ];
     for (name, src, krate) in cases {

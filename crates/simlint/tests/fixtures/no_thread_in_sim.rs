@@ -1,0 +1,22 @@
+// Fixture for the no-thread-in-sim rule. This file is lexed by the
+// simlint test suite, never compiled.
+
+pub fn bad() {
+    std::thread::spawn(|| {});
+}
+
+pub fn sanctioned() {
+    std::thread::scope(|_s| {}); // simlint: allow(no-thread-in-sim)
+}
+
+pub fn fine() {
+    let thread = 3;
+    drop(thread);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt() {
+        let _h: std::thread::JoinHandle<()> = std::thread::spawn(|| {});
+    }
+}

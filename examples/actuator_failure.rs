@@ -8,7 +8,7 @@
 //! ```
 
 use diskmodel::presets;
-use experiments::runner::{run_drive, run_drive_with_failures};
+use experiments::{run_drive, run_drive_with_failures};
 use intradisk::failure::FailureSchedule;
 use intradisk::DriveConfig;
 use simkit::SimTime;
@@ -20,7 +20,7 @@ fn main() {
     let trace = spec.generate(21);
     let trace_span_ms = trace.stats().duration_ms;
 
-    let healthy = run_drive(&params, DriveConfig::sa(4), &trace);
+    let healthy = run_drive(&params, DriveConfig::sa(4), &trace).expect("replay succeeds");
     println!(
         "healthy SA(4)          : mean {:6.2} ms, rot-latency {:4.2} ms",
         healthy.metrics.response_time_ms.mean(),
@@ -31,14 +31,15 @@ fn main() {
     let mut sched = FailureSchedule::new();
     sched.push(SimTime::from_millis(trace_span_ms / 3.0), 3);
     sched.push(SimTime::from_millis(trace_span_ms * 2.0 / 3.0), 2);
-    let degraded = run_drive_with_failures(&params, DriveConfig::sa(4), &trace, sched);
+    let degraded = run_drive_with_failures(&params, DriveConfig::sa(4), &trace, sched)
+        .expect("replay succeeds");
     println!(
         "SA(4) with two failures: mean {:6.2} ms, rot-latency {:4.2} ms",
         degraded.metrics.response_time_ms.mean(),
         degraded.metrics.rotational_ms.mean()
     );
 
-    let floor = run_drive(&params, DriveConfig::sa(2), &trace);
+    let floor = run_drive(&params, DriveConfig::sa(2), &trace).expect("replay succeeds");
     println!(
         "healthy SA(2) (floor)  : mean {:6.2} ms, rot-latency {:4.2} ms",
         floor.metrics.response_time_ms.mean(),

@@ -9,7 +9,7 @@
 //! ```
 
 use experiments::configs::{hcsd_params, md_config, trace_for, Scale};
-use experiments::runner::{run_array, run_drive};
+use experiments::{run_array, run_drive};
 use intradisk::DriveConfig;
 use workload::WorkloadKind;
 
@@ -31,7 +31,8 @@ fn main() {
         cfg.disks,
         cfg.layout,
         &trace,
-    );
+    )
+    .expect("replay succeeds");
     println!(
         "  MD   : mean {:6.2} ms | power {:6.1} W\n",
         md.response_time_ms.mean(),
@@ -40,7 +41,7 @@ fn main() {
 
     println!("Consolidated onto one {}:", hcsd_params().name());
     for n in 1..=4u32 {
-        let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace);
+        let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace).expect("replay succeeds");
         let verdict = if r.metrics.response_time_ms.mean() <= md.response_time_ms.mean() * 1.10 {
             "breaks even with MD"
         } else {

@@ -13,7 +13,7 @@
 
 use array::maid::{self, MaidConfig};
 use diskmodel::presets;
-use experiments::runner::run_drive;
+use experiments::run_drive;
 use intradisk::drpm::{self, DrpmConfig};
 use intradisk::{DriveConfig, IoKind, IoRequest};
 use simkit::{Rng64, SimDuration, SimTime};
@@ -42,8 +42,8 @@ fn main() {
 
     println!("{:<28} {:>10} {:>10} {:>10}", "design", "mean ms", "p99 ms", "avg W");
 
-    let conv = run_drive(&params, DriveConfig::conventional(), &trace);
-    let mut conv_rt = conv.metrics.response_time_ms.clone();
+    let conv = run_drive(&params, DriveConfig::conventional(), &trace).expect("replay succeeds");
+    let conv_rt = &conv.metrics.response_time_ms;
     println!(
         "{:<28} {:>10.1} {:>10.1} {:>10.2}",
         "conventional @7200",
@@ -53,7 +53,7 @@ fn main() {
     );
 
     let d = drpm::replay(&params, DrpmConfig::typical(), &reqs);
-    let mut d_rt = d.response_time_ms.clone();
+    let d_rt = &d.response_time_ms;
     println!(
         "{:<28} {:>10.1} {:>10.1} {:>10.2}",
         "DRPM 7200/4200",
@@ -65,7 +65,7 @@ fn main() {
     // MAID needs an array to have members to sleep: 4 small drives.
     let member = presets::array_drive_10k_19gb();
     let m = maid::replay(&member, MaidConfig::typical(), 4, &reqs);
-    let mut m_rt = m.response_time_ms.clone();
+    let m_rt = &m.response_time_ms;
     println!(
         "{:<28} {:>10.1} {:>10.1} {:>10.2}",
         "MAID 4x19GB (spin-down)",
@@ -74,8 +74,9 @@ fn main() {
         m.average_power_w()
     );
 
-    let sa = run_drive(&presets::barracuda_es_at_rpm(4_200), DriveConfig::sa(4), &trace);
-    let mut sa_rt = sa.metrics.response_time_ms.clone();
+    let sa = run_drive(&presets::barracuda_es_at_rpm(4_200), DriveConfig::sa(4), &trace)
+        .expect("replay succeeds");
+    let sa_rt = &sa.metrics.response_time_ms;
     println!(
         "{:<28} {:>10.1} {:>10.1} {:>10.2}",
         "SA(4) @4200 (this paper)",

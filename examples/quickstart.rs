@@ -7,7 +7,7 @@
 //! ```
 
 use diskmodel::presets;
-use experiments::runner::run_drive;
+use experiments::run_drive;
 use intradisk::DriveConfig;
 use workload::SyntheticSpec;
 
@@ -22,7 +22,8 @@ fn main() {
     println!("workload: {} requests, stats {:?}\n", trace.len(), trace.stats());
 
     for actuators in [1u32, 2, 4] {
-        let mut result = run_drive(&params, DriveConfig::sa(actuators), &trace);
+        let result =
+            run_drive(&params, DriveConfig::sa(actuators), &trace).expect("replay succeeds");
         let p90 = result.p90_ms();
         let m = result.power;
         println!(

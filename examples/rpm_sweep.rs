@@ -7,7 +7,7 @@
 //! ```
 
 use diskmodel::presets;
-use experiments::runner::run_drive;
+use experiments::run_drive;
 use intradisk::DriveConfig;
 use workload::SyntheticSpec;
 
@@ -23,7 +23,7 @@ fn main() {
     for rpm in [7200u32, 6200, 5200, 4200] {
         for n in [1u32, 2, 4] {
             let params = presets::barracuda_es_at_rpm(rpm);
-            let r = run_drive(&params, DriveConfig::sa(n), &trace);
+            let r = run_drive(&params, DriveConfig::sa(n), &trace).expect("replay succeeds");
             let mean = r.metrics.response_time_ms.mean();
             let power = r.power.total_w();
             // Served sectors per joule — a simple efficiency figure.

@@ -9,7 +9,7 @@
 
 use array::Layout;
 use experiments::configs::hcsd_params;
-use experiments::runner::run_array;
+use experiments::run_array;
 use intradisk::DriveConfig;
 use workload::SyntheticSpec;
 
@@ -25,13 +25,14 @@ fn main() {
     for disks in [2usize, 4, 8, 16] {
         let mut row = format!("{disks:>6}");
         for n in [1u32, 2, 4] {
-            let mut r = run_array(
+            let r = run_array(
                 &params,
                 DriveConfig::sa(n),
                 disks,
                 Layout::striped_default(),
                 &trace,
-            );
+            )
+            .expect("replay succeeds");
             let p90 = r.p90_ms();
             row.push_str(&format!(" {p90:>12.1}"));
             // Remember the cheapest config of each type that keeps p90

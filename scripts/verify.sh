@@ -3,7 +3,9 @@
 #
 # Runs the tier-1 check from ROADMAP.md (release build + full test
 # suite), with the simlint determinism gate between build and tests,
-# and then the test suite again with ignored tests included.
+# a reduced-scale parallel-sweep determinism check (the `repro` report
+# must be byte-identical at --jobs 2 and --jobs 1), and then the test
+# suite again with ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -16,6 +18,13 @@ cargo build --release
 
 echo "==> gate: simlint --deny-all"
 cargo run --release -p simlint -- --deny-all
+
+echo "==> gate: reduced-scale sweep, --jobs 2 byte-identical to --jobs 1"
+sweep_dir=$(mktemp -d)
+trap 'rm -rf "$sweep_dir"' EXIT
+target/release/repro all --requests 2000 --jobs 1 > "$sweep_dir/serial.txt" 2>/dev/null
+target/release/repro all --requests 2000 --jobs 2 > "$sweep_dir/jobs2.txt" 2>/dev/null
+cmp "$sweep_dir/serial.txt" "$sweep_dir/jobs2.txt"
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

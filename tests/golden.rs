@@ -18,14 +18,27 @@
 //! the band is a calibration regression, not noise.
 
 use diskmodel::{power, presets, PowerModel, RotationModel, SeekProfile};
-use experiments::configs::Scale;
-use experiments::{limit_study, sa_eval};
+use experiments::{limit_study, sa_eval, Executor, LimitStudy, SaStudy, Scale, Study};
 use simkit::{Rng64, SimTime};
 use testkit::golden::{assert_monotone_nonincreasing, assert_rel, assert_strictly_increasing};
 use workload::WorkloadKind;
 
 fn scale() -> Scale {
     Scale::quick().with_requests(6_000)
+}
+
+fn sa_one(kind: WorkloadKind) -> sa_eval::SaResult {
+    let report = SaStudy::only(kind)
+        .run(scale(), &Executor::serial())
+        .expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
+}
+
+fn limit_one(kind: WorkloadKind) -> limit_study::WorkloadComparison {
+    let report = LimitStudy::only(kind)
+        .run(scale(), &Executor::serial())
+        .expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
 }
 
 // ------------------------------------------------------------- seek curve
@@ -186,7 +199,7 @@ fn golden_sa_curve_improves_toward_md() {
     // Figure 5: mean service time is non-increasing in the actuator
     // count, and the MD reference outperforms the single-actuator
     // HC-SD baseline it replaces.
-    let r = sa_eval::run_one(WorkloadKind::TpcC, scale());
+    let r = sa_one(WorkloadKind::TpcC);
     assert_monotone_nonincreasing("SA(n) means", &r.means_ms, 0.03);
     assert_monotone_nonincreasing("SA(n) rotational means", &r.rot_means_ms, 0.03);
     assert!(
@@ -201,7 +214,7 @@ fn golden_sa_curve_improves_toward_md() {
 fn golden_limit_study_orderings() {
     // Figure 2/3 headline: HC-SD is slower than MD but an order of
     // magnitude cheaper in power.
-    let w = limit_study::run_one(WorkloadKind::TpcC, scale());
+    let w = limit_one(WorkloadKind::TpcC);
     let md = w.md.response_time_ms.mean();
     let hc = w.hcsd.metrics.response_time_ms.mean();
     assert!(hc > md, "HC-SD mean {hc:.2} not above MD {md:.2}");

@@ -3,9 +3,9 @@
 //! `experiments`.
 
 use array::Layout;
-use diskmodel::presets;
+use diskmodel::{presets, DiskParams};
 use experiments::configs::{hcsd_params, md_config, trace_for, Scale};
-use experiments::runner::{run_array, run_drive, run_drive_with_failures};
+use experiments::{ArrayRunResult, DriveRunResult};
 use intradisk::failure::FailureSchedule;
 use intradisk::{DriveConfig, IoKind, IoRequest, QueuePolicy};
 use simkit::SimTime;
@@ -13,6 +13,32 @@ use workload::{SyntheticSpec, Trace, WorkloadKind};
 
 fn synthetic(mean_ms: f64, n: usize, seed: u64) -> Trace {
     SyntheticSpec::paper(mean_ms, hcsd_params().capacity_sectors(), n).generate(seed)
+}
+
+// Every trace here replays cleanly by construction, so the tests keep
+// the infallible shape and unwrap the runner's `Result` in one place.
+fn run_drive(params: &DiskParams, config: DriveConfig, trace: &Trace) -> DriveRunResult {
+    experiments::run_drive(params, config, trace).expect("replay succeeds")
+}
+
+fn run_drive_with_failures(
+    params: &DiskParams,
+    config: DriveConfig,
+    trace: &Trace,
+    failures: FailureSchedule,
+) -> DriveRunResult {
+    experiments::run_drive_with_failures(params, config, trace, failures)
+        .expect("replay succeeds")
+}
+
+fn run_array(
+    params: &DiskParams,
+    member: DriveConfig,
+    disks: usize,
+    layout: Layout,
+    trace: &Trace,
+) -> ArrayRunResult {
+    experiments::run_array(params, member, disks, layout, trace).expect("replay succeeds")
 }
 
 #[test]

@@ -12,14 +12,30 @@
 //! * arm-assembly placement is irrelevant when there is only one arm,
 //! * scaling RPM moves latency (and spindle power) monotonically.
 
-use diskmodel::{presets, PowerModel, RotationModel};
-use experiments::runner::{run_array, run_drive};
+use diskmodel::{presets, DiskParams, PowerModel, RotationModel};
+use experiments::{ArrayRunResult, DriveRunResult};
 use intradisk::{ArmPlacement, DiskDrive, DriveConfig, QueuePolicy};
 use workload::{SyntheticSpec, Trace};
 
 fn trace(mean_ms: f64, n: usize, seed: u64) -> Trace {
     let cap = presets::barracuda_es_750gb().capacity_sectors();
     SyntheticSpec::paper(mean_ms, cap, n).generate(seed)
+}
+
+// Oracle traces replay cleanly by construction; unwrap the runner's
+// `Result` in one place so the assertions below stay focused.
+fn run_drive(params: &DiskParams, config: DriveConfig, trace: &Trace) -> DriveRunResult {
+    experiments::run_drive(params, config, trace).expect("replay succeeds")
+}
+
+fn run_array(
+    params: &DiskParams,
+    member: DriveConfig,
+    disks: usize,
+    layout: array::Layout,
+    trace: &Trace,
+) -> ArrayRunResult {
+    experiments::run_array(params, member, disks, layout, trace).expect("replay succeeds")
 }
 
 /// Replays `trace` and returns the sorted completed-request ids,
@@ -232,6 +248,52 @@ fn oracle_identical_seeds_produce_byte_identical_metrics() {
     // Sanity: the fingerprint actually depends on the seed.
     let other = full_experiment_fingerprint(22);
     assert_ne!(first, other, "fingerprint is insensitive to the seed");
+}
+
+// ------------------------------- parallel-execution determinism oracle
+
+/// Renders every study's full report at a reduced scale on `exec`.
+/// The rendered text is the experiment's observable output, so two
+/// byte-identical renderings mean the executor's worker count is
+/// invisible to the science.
+fn full_sweep_rendering(exec: &experiments::Executor) -> String {
+    use experiments::{
+        BottleneckStudy, LimitStudy, RaidStudy, RpmStudy, SaStudy, Scale, Study, ValidationStudy,
+    };
+    let scale = Scale::quick().with_requests(2_000);
+    let mut out = String::new();
+    let limit = LimitStudy::all().run(scale, exec).expect("limit study replays");
+    out.push_str(&limit.render_figure2());
+    out.push_str(&limit.render_figure3());
+    let bott = BottleneckStudy::all().run(scale, exec).expect("bottleneck study replays");
+    out.push_str(&bott.render());
+    let sa = SaStudy::all().run(scale, exec).expect("SA study replays");
+    out.push_str(&sa.render_cdfs());
+    out.push_str(&sa.render_pdfs());
+    out.push_str(&sa.render_power());
+    let rpm = RpmStudy::all().run(scale, exec).expect("RPM study replays");
+    out.push_str(&rpm.render_figure6());
+    out.push_str(&rpm.render_figure7());
+    let raid = RaidStudy::all().run(scale, exec).expect("RAID study replays");
+    out.push_str(&raid.render_performance());
+    out.push_str(&raid.render_power());
+    let validation = ValidationStudy::all().run(scale, exec).expect("validation replays");
+    out.push_str(&validation.render());
+    out
+}
+
+#[test]
+fn oracle_parallel_sweep_is_byte_identical_to_serial() {
+    // The Study/Executor contract: points are pure functions of
+    // (point, scale), outputs are reduced in plan order, so a 4-worker
+    // sweep must render the exact bytes a serial sweep renders.
+    let serial = full_sweep_rendering(&experiments::Executor::serial());
+    let parallel = full_sweep_rendering(&experiments::Executor::new(4));
+    assert_eq!(
+        serial.as_bytes(),
+        parallel.as_bytes(),
+        "jobs=4 diverged from jobs=1"
+    );
 }
 
 #[test]

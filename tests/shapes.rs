@@ -4,12 +4,48 @@
 //! Absolute numbers are not asserted (the substrate is a from-scratch
 //! simulator, not the authors' DiskSim installation).
 
-use experiments::configs::Scale;
-use experiments::{bottleneck, limit_study, raid_eval, rpm_study, sa_eval};
+use experiments::{
+    bottleneck, limit_study, raid_eval, rpm_study, sa_eval, BottleneckStudy, Executor, LimitStudy,
+    RaidStudy, RpmStudy, SaStudy, Scale, Study,
+};
 use workload::WorkloadKind;
 
 fn scale() -> Scale {
     Scale::quick() // 15k requests: enough for stable qualitative shapes
+}
+
+// Each helper drives its study through the parallel executor (2 jobs:
+// the Study contract makes the result independent of the worker count,
+// so these double as coverage of the work-stealing path).
+fn exec() -> Executor {
+    Executor::new(2)
+}
+
+fn limit_one(kind: WorkloadKind) -> limit_study::WorkloadComparison {
+    let report = LimitStudy::only(kind).run(scale(), &exec()).expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
+}
+
+fn bottleneck_one(kind: WorkloadKind) -> bottleneck::BottleneckResult {
+    let report = BottleneckStudy::only(kind).run(scale(), &exec()).expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
+}
+
+fn sa_one(kind: WorkloadKind) -> sa_eval::SaResult {
+    let report = SaStudy::only(kind).run(scale(), &exec()).expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
+}
+
+fn rpm_one(kind: WorkloadKind) -> rpm_study::RpmResult {
+    let report = RpmStudy::only(kind).run(scale(), &exec()).expect("replays cleanly");
+    report.workloads.into_iter().next().expect("one workload")
+}
+
+fn raid_sweep(inter_arrival_ms: f64, scale: Scale) -> raid_eval::RaidSweep {
+    let report = RaidStudy::only(inter_arrival_ms)
+        .run(scale, &exec())
+        .expect("replays cleanly");
+    report.sweeps.into_iter().next().expect("one sweep")
 }
 
 // ---------------------------------------------------------------- Fig 2
@@ -21,7 +57,7 @@ fn figure2_hcsd_severely_degrades_io_bound_workloads() {
         WorkloadKind::Websearch,
         WorkloadKind::TpcC,
     ] {
-        let w = limit_study::run_one(kind, scale());
+        let w = limit_one(kind);
         let md = w.md.response_time_ms.mean();
         let hc = w.hcsd.metrics.response_time_ms.mean();
         assert!(
@@ -36,7 +72,7 @@ fn figure2_hcsd_severely_degrades_io_bound_workloads() {
 fn figure2_tpch_sees_little_loss() {
     // §7.1: TPC-H's storage "is able to service I/O requests faster
     // than they arrive" — little performance loss on HC-SD.
-    let w = limit_study::run_one(WorkloadKind::TpcH, scale());
+    let w = limit_one(WorkloadKind::TpcH);
     let md = w.md.response_time_ms.mean();
     let hc = w.hcsd.metrics.response_time_ms.mean();
     assert!(
@@ -50,7 +86,7 @@ fn figure2_tpch_sees_little_loss() {
 #[test]
 fn figure3_order_of_magnitude_power_reduction() {
     for kind in WorkloadKind::ALL {
-        let w = limit_study::run_one(kind, scale());
+        let w = limit_one(kind);
         let ratio = w.md.power.total_w() / w.hcsd.power.total_w();
         assert!(
             ratio > 4.0,
@@ -59,7 +95,7 @@ fn figure3_order_of_magnitude_power_reduction() {
         );
     }
     // The 24-disk Financial array specifically is an order of magnitude.
-    let w = limit_study::run_one(WorkloadKind::Financial, scale());
+    let w = limit_one(WorkloadKind::Financial);
     assert!(w.md.power.total_w() / w.hcsd.power.total_w() > 10.0);
 }
 
@@ -68,7 +104,7 @@ fn figure3_md_power_is_idle_dominated() {
     // "a large fraction of the power in the MD configuration is
     // consumed when the disks are idle".
     for kind in WorkloadKind::ALL {
-        let w = limit_study::run_one(kind, scale());
+        let w = limit_one(kind);
         let p = &w.md.power;
         assert!(
             p.idle_w > p.seek_w + p.rotational_w + p.transfer_w,
@@ -85,7 +121,7 @@ fn figure3_md_power_is_idle_dominated() {
 #[test]
 fn figure4_rotational_latency_is_primary_bottleneck() {
     for kind in WorkloadKind::ALL {
-        let r = bottleneck::run_one(kind, scale());
+        let r = bottleneck_one(kind);
         assert!(
             r.rot_elimination_speedup() > r.seek_elimination_speedup(),
             "{}: rot speedup {:.2} vs seek speedup {:.2}",
@@ -101,7 +137,7 @@ fn figure4_quarter_rotational_latency_surpasses_md() {
     // "for Websearch, TPC-C, and TPC-H ... (1/4)R ... would allow us to
     // surpass the performance of even the MD system".
     for kind in [WorkloadKind::Websearch, WorkloadKind::TpcC, WorkloadKind::TpcH] {
-        let r = bottleneck::run_one(kind, scale());
+        let r = bottleneck_one(kind);
         let quarter_r = r.rot_means[2];
         assert!(
             quarter_r <= r.md_mean_ms * 1.05,
@@ -115,7 +151,7 @@ fn figure4_quarter_rotational_latency_surpasses_md() {
 #[test]
 fn figure4_scaling_curves_are_ordered() {
     // Within each dimension, stronger scaling dominates in the CDF.
-    let r = bottleneck::run_one(WorkloadKind::Websearch, scale());
+    let r = bottleneck_one(WorkloadKind::Websearch);
     for curves in [&r.seek_scaled, &r.rot_scaled] {
         for pair in curves.windows(2) {
             assert!(
@@ -131,7 +167,7 @@ fn figure4_scaling_curves_are_ordered() {
 #[test]
 fn figure5_actuators_monotonically_improve_every_workload() {
     for kind in WorkloadKind::ALL {
-        let r = sa_eval::run_one(kind, scale());
+        let r = sa_one(kind);
         for w in r.means_ms.windows(2) {
             assert!(
                 w[1] <= w[0] * 1.03,
@@ -146,7 +182,7 @@ fn figure5_actuators_monotonically_improve_every_workload() {
 #[test]
 fn figure5_websearch_and_tpcc_break_even_with_few_actuators() {
     for kind in [WorkloadKind::Websearch, WorkloadKind::TpcC] {
-        let r = sa_eval::run_one(kind, scale());
+        let r = sa_one(kind);
         let n = r.break_even_actuators(1.15);
         assert!(
             matches!(n, Some(2..=4)),
@@ -160,14 +196,14 @@ fn figure5_websearch_and_tpcc_break_even_with_few_actuators() {
 
 #[test]
 fn figure5_tpch_breaks_even_immediately_financial_never() {
-    let h = sa_eval::run_one(WorkloadKind::TpcH, scale());
+    let h = sa_one(WorkloadKind::TpcH);
     assert!(
         matches!(h.break_even_actuators(1.15), Some(1..=2)),
         "TPC-H should break even by SA(2): {:?} vs {:.1}",
         h.means_ms,
         h.md_mean_ms
     );
-    let f = sa_eval::run_one(WorkloadKind::Financial, scale());
+    let f = sa_one(WorkloadKind::Financial);
     assert_eq!(
         f.break_even_actuators(1.15),
         None,
@@ -182,7 +218,7 @@ fn figure5_rotational_pdf_tail_shrinks_with_actuators() {
     // "increasing the number of arms from one to two substantially
     // shortens the tail of [the rotational-latency] distributions".
     for kind in [WorkloadKind::Websearch, WorkloadKind::TpcC] {
-        let r = sa_eval::run_one(kind, scale());
+        let r = sa_one(kind);
         assert!(
             r.rot_means_ms[1] < r.rot_means_ms[0],
             "{}: rot mean did not shrink 1->2 arms: {:?}",
@@ -206,7 +242,7 @@ fn figure6_sa_power_comparable_to_conventional_drive() {
     // "the power consumed by the intra-disk parallel configurations are
     // comparable to HC-SD" (within a few watts at 7200 RPM).
     for kind in WorkloadKind::ALL {
-        let r = sa_eval::run_one(kind, scale());
+        let r = sa_one(kind);
         let base = r.power[0].total_w();
         for (i, p) in r.power.iter().enumerate() {
             let diff = (p.total_w() - base).abs();
@@ -226,7 +262,7 @@ fn figure6_sa_power_comparable_to_conventional_drive() {
 
 #[test]
 fn figure6_lower_rpm_cuts_power_below_conventional() {
-    let r = rpm_study::run_one(WorkloadKind::TpcC, scale());
+    let r = rpm_one(WorkloadKind::TpcC);
     let hcsd_w = r.hcsd.power.total_w();
     let sa4_4200 = r
         .points
@@ -242,7 +278,7 @@ fn figure6_lower_rpm_cuts_power_below_conventional() {
 
 #[test]
 fn figure7_tpch_has_reduced_rpm_break_even_designs() {
-    let r = rpm_study::run_one(WorkloadKind::TpcH, scale());
+    let r = rpm_one(WorkloadKind::TpcH);
     let be = r.break_even_points(1.25);
     assert!(
         !be.is_empty(),
@@ -254,7 +290,7 @@ fn figure7_tpch_has_reduced_rpm_break_even_designs() {
 
 #[test]
 fn figure7_more_actuators_offset_lower_rpm() {
-    let r = rpm_study::run_one(WorkloadKind::Websearch, scale());
+    let r = rpm_one(WorkloadKind::Websearch);
     for rpm in rpm_study::RPMS {
         let sa2 = r.points.iter().find(|p| p.actuators == 2 && p.rpm == rpm);
         let sa4 = r.points.iter().find(|p| p.actuators == 4 && p.rpm == rpm);
@@ -272,7 +308,7 @@ fn figure7_more_actuators_offset_lower_rpm() {
 
 #[test]
 fn figure8_parallel_arrays_need_fewer_disks() {
-    let sweep = raid_eval::run_sweep(4.0, Scale::quick().with_requests(8_000));
+    let sweep = raid_sweep(4.0, Scale::quick().with_requests(8_000));
     // At every disk count, parallel members perform at least as well.
     for &d in &raid_eval::DISK_COUNTS {
         let p = |n: u32| {
@@ -297,7 +333,7 @@ fn figure8_parallel_arrays_need_fewer_disks() {
 fn figure8_iso_performance_power_savings_in_paper_band() {
     // "the HC-SD-SA(2) and HC-SD-SA(4) arrays consume 41% and 60% less
     // power" under heavy load. Assert savings in a generous band.
-    let sweep = raid_eval::run_sweep(1.0, Scale::quick().with_requests(8_000));
+    let sweep = raid_sweep(1.0, Scale::quick().with_requests(8_000));
     let iso = sweep.iso_performance(1.15);
     let total = |n: u32| {
         iso.iter()
@@ -323,8 +359,8 @@ fn figure8_iso_performance_power_savings_in_paper_band() {
 
 #[test]
 fn figure8_heavier_load_needs_more_disks() {
-    let light = raid_eval::run_sweep(8.0, Scale::quick().with_requests(6_000));
-    let heavy = raid_eval::run_sweep(1.0, Scale::quick().with_requests(6_000));
+    let light = raid_sweep(8.0, Scale::quick().with_requests(6_000));
+    let heavy = raid_sweep(1.0, Scale::quick().with_requests(6_000));
     // At 2 disks with conventional members, the heavy load must hurt.
     let p90 = |s: &raid_eval::RaidSweep| {
         s.points
