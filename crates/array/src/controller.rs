@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use diskmodel::{DiskParams, DriveError};
 use intradisk::{DiskDrive, DriveConfig, IoRequest, PowerBreakdown};
 use simkit::{Histogram, SimTime, Summary};
+use telemetry::{NullRecorder, Recorder, ScopedRecorder, TraceEvent};
 
 use crate::layout::{Layout, SubRequest};
 
@@ -174,8 +175,33 @@ impl ArrayController {
         req: IoRequest,
         now: SimTime,
     ) -> Result<Vec<(usize, SimTime)>, DriveError> {
+        self.submit_traced(req, now, &mut NullRecorder)
+    }
+
+    /// [`ArrayController::submit`] with event tracing: the logical
+    /// request's lifecycle is emitted in scope 0; each member disk's
+    /// events land in scope `1 + disk` (its own process/track group in
+    /// the Perfetto export).
+    pub fn submit_traced<R: Recorder>(
+        &mut self,
+        req: IoRequest,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Result<Vec<(usize, SimTime)>, DriveError> {
         let mapped = self.layout.map_request(self.disks.len(), self.per_disk, &req);
         assert!(!mapped.is_empty(), "mapping produced no sub-requests");
+        if R::ENABLED {
+            rec.record_scoped(
+                0,
+                now,
+                TraceEvent::RequestSubmitted {
+                    req: req.id,
+                    lba: req.lba,
+                    sectors: req.sectors,
+                    op: req.kind.into(),
+                },
+            );
+        }
         let key = self.next_key;
         self.next_key += 1;
         self.outstanding.insert(
@@ -187,14 +213,15 @@ impl ArrayController {
                 phase_two: mapped.phase_two,
             },
         );
-        self.issue(key, &mapped.phase_one, now)
+        self.issue(key, &mapped.phase_one, now, rec)
     }
 
-    fn issue(
+    fn issue<R: Recorder>(
         &mut self,
         key: u64,
         subs: &[SubRequest],
         now: SimTime,
+        rec: &mut R,
     ) -> Result<Vec<(usize, SimTime)>, DriveError> {
         let mut started = Vec::new();
         for sub in subs {
@@ -202,7 +229,8 @@ impl ArrayController {
             self.next_sub_id += 1;
             self.sub_owner.insert(sub_id, key);
             let sreq = IoRequest::new(sub_id, now, sub.lba, sub.sectors, sub.kind);
-            if let Some(t) = self.disks[sub.disk].submit(sreq, now)? {
+            let mut scoped = ScopedRecorder::new(rec, 1 + sub.disk as u32);
+            if let Some(t) = self.disks[sub.disk].submit_traced(sreq, now, &mut scoped)? {
                 started.push((sub.disk, t));
             }
         }
@@ -222,7 +250,24 @@ impl ArrayController {
         disk: usize,
         now: SimTime,
     ) -> Result<DiskCompletion, DriveError> {
-        let (done, next_on_disk) = self.disks[disk].complete(now)?;
+        self.on_disk_complete_traced(disk, now, &mut NullRecorder)
+    }
+
+    /// [`ArrayController::on_disk_complete`] with event tracing (see
+    /// [`ArrayController::submit_traced`]).
+    ///
+    /// # Errors
+    /// Same contract as [`ArrayController::on_disk_complete`].
+    pub fn on_disk_complete_traced<R: Recorder>(
+        &mut self,
+        disk: usize,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Result<DiskCompletion, DriveError> {
+        let (done, next_on_disk) = {
+            let mut scoped = ScopedRecorder::new(&mut *rec, 1 + disk as u32);
+            self.disks[disk].complete_traced(now, &mut scoped)?
+        };
         let key = self
             .sub_owner
             .remove(&done.request.id)
@@ -247,7 +292,7 @@ impl ArrayController {
                 // Launch phase two; the logical request stays open.
                 let subs = std::mem::take(&mut o.phase_two);
                 o.remaining = subs.len();
-                out.started = self.issue(key, &subs, now)?;
+                out.started = self.issue(key, &subs, now, rec)?;
                 None
             }
         };
@@ -259,6 +304,9 @@ impl ArrayController {
                     completed: now,
                 };
                 self.metrics.record(&c);
+                if R::ENABLED {
+                    rec.record_scoped(0, now, TraceEvent::Complete { req: c.id });
+                }
                 out.finished.push(c);
             }
         }

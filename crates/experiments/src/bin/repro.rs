@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S]
+//! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S] [--trace DIR]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             fig8 | table9 | fig9 | thermal | drpm | all
@@ -12,6 +12,11 @@
 //! machine's available parallelism). The report printed to stdout is
 //! byte-identical for every jobs value; per-point progress lines go to
 //! stderr.
+//!
+//! `--trace DIR` additionally exports the fixed telemetry scenarios
+//! (see `experiments::tracing`) as Perfetto-loadable JSON + CSV + an
+//! analysis summary; the export is byte-identical across runs and
+//! `--jobs` values.
 
 use std::env;
 use std::fs::File;
@@ -30,6 +35,7 @@ struct Args {
     spc_file: Option<String>,
     actuators: u32,
     jobs: usize,
+    trace_dir: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -44,9 +50,13 @@ fn parse_args() -> Result<Args, String> {
     let mut spc_file = None;
     let mut actuators = 4u32;
     let mut jobs = default_jobs();
+    let mut trace_dir = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace" => {
+                trace_dir = Some(it.next().ok_or("--trace needs a directory")?);
+            }
             "--actuators" => {
                 actuators = it
                     .next()
@@ -81,7 +91,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S]\n       repro spc <trace-file> [--actuators N] [--requests N]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--trace DIR]\n       repro spc <trace-file> [--actuators N] [--requests N]"
                         .to_string(),
                 );
             }
@@ -101,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
         spc_file,
         actuators,
         jobs,
+        trace_dir,
     })
 }
 
@@ -245,11 +256,27 @@ fn main() -> ExitCode {
     }
 
     let exec = Executor::new(args.jobs).with_progress();
-    match run_experiments(&args, &exec) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+    if let Err(e) = run_experiments(&args, &exec) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Trace export runs serially after the sweeps, and its file list
+    // goes to stderr: stdout stays byte-identical whether or not (and
+    // with whatever --jobs) tracing is enabled.
+    if let Some(dir) = args.trace_dir.as_deref() {
+        let dir = std::path::Path::new(dir);
+        match experiments::tracing::export_traces(dir, args.scale) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("[trace: {}]", dir.join(f).display());
+                }
+            }
+            Err(msg) => {
+                eprintln!("trace export failed: {msg}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }

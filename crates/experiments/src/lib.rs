@@ -16,6 +16,7 @@
 //! | [`extensions`] | beyond the paper: thermal feasibility, DRPM comparison, DASH dimensions |
 //! | [`validation`] | simulator cross-checks against closed-form results |
 //! | [`replication`] | seed-robustness of the headline conclusions |
+//! | [`tracing`] | `--trace` — Perfetto/CSV event-trace export of fixed scenarios |
 //!
 //! Every study implements the [`Study`] trait ([`plan`] module): it
 //! *describes* its sweep as an [`ExperimentPlan`] and reduces per-point
@@ -44,6 +45,7 @@ pub mod rpm_study;
 pub mod runner;
 pub mod sa_eval;
 pub mod tech_table;
+pub mod tracing;
 pub mod validation;
 
 // The one import path for driving experiments: scale + the Study API +
@@ -56,7 +58,8 @@ pub use plan::{ExperimentPlan, Study};
 pub use raid_eval::RaidStudy;
 pub use rpm_study::RpmStudy;
 pub use runner::{
-    run_array, run_drive, run_drive_with_failures, ArrayRunResult, DriveRunResult,
+    run_array, run_array_traced, run_drive, run_drive_traced, run_drive_with_failures,
+    run_drive_with_failures_traced, ArrayRunResult, DriveRunResult,
 };
 pub use sa_eval::SaStudy;
 pub use validation::ValidationStudy;

@@ -16,6 +16,7 @@ use diskmodel::{DiskParams, DriveError};
 use intradisk::failure::FailureSchedule;
 use intradisk::{DiskDrive, DriveConfig, DriveMetrics, PowerBreakdown};
 use simkit::{EventQueue, SimDuration, SimTime, Summary};
+use telemetry::{NullRecorder, Recorder};
 use workload::Trace;
 
 /// Result of replaying a trace on a single drive.
@@ -73,13 +74,34 @@ pub fn run_drive(
     run_drive_with_failures(params, config, trace, FailureSchedule::new())
 }
 
+/// [`run_drive`], recording the drive's telemetry events into `rec`.
+pub fn run_drive_traced<R: Recorder>(
+    params: &DiskParams,
+    config: DriveConfig,
+    trace: &Trace,
+    rec: &mut R,
+) -> Result<DriveRunResult, DriveError> {
+    run_drive_with_failures_traced(params, config, trace, FailureSchedule::new(), rec)
+}
+
 /// Replays `trace` against one drive, applying a SMART failure schedule
 /// as simulated time passes (§8's graceful-degradation study).
 pub fn run_drive_with_failures(
     params: &DiskParams,
     config: DriveConfig,
     trace: &Trace,
+    failures: FailureSchedule,
+) -> Result<DriveRunResult, DriveError> {
+    run_drive_with_failures_traced(params, config, trace, failures, &mut NullRecorder)
+}
+
+/// [`run_drive_with_failures`], recording telemetry events into `rec`.
+pub fn run_drive_with_failures_traced<R: Recorder>(
+    params: &DiskParams,
+    config: DriveConfig,
+    trace: &Trace,
     mut failures: FailureSchedule,
+    rec: &mut R,
 ) -> Result<DriveRunResult, DriveError> {
     let mut drive = DiskDrive::new(params, config);
     let mut completion: Option<SimTime> = None;
@@ -99,13 +121,13 @@ pub fn run_drive_with_failures(
             i += 1;
             failures.apply_due(&mut drive, r.arrival);
             end = end.max(r.arrival);
-            if let Some(f) = drive.submit(r, r.arrival)? {
+            if let Some(f) = drive.submit_traced(r, r.arrival, rec)? {
                 completion = Some(f);
             }
         } else {
             let c = completion.expect("completion pending");
             failures.apply_due(&mut drive, c);
-            let (done, next) = drive.complete(c)?;
+            let (done, next) = drive.complete_traced(c, rec)?;
             end = end.max(done.completed);
             completion = next;
         }
@@ -127,6 +149,21 @@ pub fn run_array(
     layout: Layout,
     trace: &Trace,
 ) -> Result<ArrayRunResult, DriveError> {
+    run_array_traced(params, member, disks, layout, trace, &mut NullRecorder)
+}
+
+/// [`run_array`], recording telemetry events into `rec`.
+///
+/// Member-drive events land in scope `1 + disk`; the controller's
+/// logical submit/complete events land in scope 0.
+pub fn run_array_traced<R: Recorder>(
+    params: &DiskParams,
+    member: DriveConfig,
+    disks: usize,
+    layout: Layout,
+    trace: &Trace,
+    rec: &mut R,
+) -> Result<ArrayRunResult, DriveError> {
     let mut array = ArrayController::new(params, member, disks, layout);
     let mut events: EventQueue<usize> = EventQueue::new();
     let mut end = SimTime::ZERO;
@@ -144,13 +181,13 @@ pub fn run_array(
             let r = reqs[i];
             i += 1;
             end = end.max(r.arrival);
-            for (disk, t) in array.submit(r, r.arrival)? {
+            for (disk, t) in array.submit_traced(r, r.arrival, rec)? {
                 events.push(t, disk);
             }
         } else {
             let ev = events.pop().expect("event pending");
             end = end.max(ev.time);
-            let out = array.on_disk_complete(ev.payload, ev.time)?;
+            let out = array.on_disk_complete_traced(ev.payload, ev.time, rec)?;
             if let Some(t) = out.next_on_disk {
                 events.push(t, ev.payload);
             }

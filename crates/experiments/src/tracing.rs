@@ -1,0 +1,180 @@
+//! Trace capture behind `repro <study> --trace <dir>`.
+//!
+//! Exports a fixed set of deterministic scenarios — the drive designs
+//! the paper's evaluation revolves around — as Perfetto-loadable Chrome
+//! trace JSON, a flat CSV timeline, and a post-hoc analysis summary.
+//! Three files per scenario land in the output directory:
+//!
+//! * `<name>.trace.json` — open in <https://ui.perfetto.dev> (one
+//!   track per actuator, plus request and power-mode tracks);
+//! * `<name>.timeline.csv` — every event, one row each, for ad-hoc
+//!   analysis;
+//! * `<name>.analysis.txt` — per-actuator utilization, queue-depth
+//!   percentiles, time-in-mode, and the modeled energy.
+//!
+//! The export is byte-identical across runs and `--jobs` values: the
+//! scenarios replay serially on the caller's thread with fixed seeds,
+//! and every exporter orders its output by `(SimTime, seq)`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use array::Layout;
+use diskmodel::{DiskParams, PowerModel};
+use intradisk::overlap::{self, OverlapConfig, OverlapMode};
+use intradisk::DriveConfig;
+use telemetry::{chrome_trace_json, timeline_csv, ModePowers, RingRecorder, TraceAnalysis};
+use workload::{SyntheticSpec, Trace};
+
+use crate::configs::{hcsd_params, Scale};
+use crate::runner::{run_array_traced, run_drive_traced};
+
+/// Requests per trace scenario (capped by the run's `--requests`).
+///
+/// Traces are for inspection, not statistics: a few thousand requests
+/// keep the JSON small enough for Perfetto while still exercising
+/// queueing.
+pub const TRACE_REQUESTS: usize = 4_000;
+
+/// Seed for the trace scenarios' synthetic workload.
+const TRACE_SEED: u64 = 42;
+
+/// Derives the analyzer's power levels from the drive's power model,
+/// so telemetry-side energy uses exactly the constants the simulator
+/// charges.
+pub fn mode_powers(params: &DiskParams) -> ModePowers {
+    let p = PowerModel::new(params);
+    ModePowers {
+        idle_w: p.idle_w(),
+        seek_w: p.seek_w(1),
+        rotational_w: p.rotational_wait_w(),
+        transfer_w: p.transfer_w(),
+    }
+}
+
+fn scenario_trace(scale: Scale, footprint_sectors: u64) -> Trace {
+    let n = scale.requests.min(TRACE_REQUESTS);
+    SyntheticSpec::paper(6.0, footprint_sectors, n).generate(TRACE_SEED)
+}
+
+fn analysis_text(samples: &[telemetry::Sample], powers: &ModePowers) -> String {
+    let analysis = TraceAnalysis::from_samples(samples);
+    let mut out = analysis.render_text();
+    for (scope, s) in &analysis.scopes {
+        let _ = writeln!(
+            out,
+            "scope {scope}: energy {:.3} J, average power {:.3} W",
+            s.energy_joules(powers),
+            s.average_power_w(powers)
+        );
+    }
+    out
+}
+
+fn write_scenario(
+    dir: &Path,
+    name: &str,
+    samples: &[telemetry::Sample],
+    powers: &ModePowers,
+    files: &mut Vec<String>,
+) -> Result<(), String> {
+    for (suffix, body) in [
+        ("trace.json", chrome_trace_json(samples)),
+        ("timeline.csv", timeline_csv(samples)),
+        ("analysis.txt", analysis_text(samples, powers)),
+    ] {
+        let file = format!("{name}.{suffix}");
+        let path = dir.join(&file);
+        fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        files.push(file);
+    }
+    Ok(())
+}
+
+/// Replays the trace scenarios and exports them under `dir` (created
+/// if missing). Returns the file names written, in a fixed order.
+pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    let params = hcsd_params();
+    let powers = mode_powers(&params);
+    let footprint = 200_000_000; // ~100 GB, well inside every config
+    let trace = scenario_trace(scale, footprint);
+
+    // The limit study's two poles: the conventional high-capacity
+    // drive and its 4-actuator intra-disk parallel variant.
+    for (name, actuators) in [("hcsd-sa1", 1u32), ("hcsd-sa4", 4u32)] {
+        let mut rec = RingRecorder::new();
+        run_drive_traced(&params, DriveConfig::sa(actuators), &trace, &mut rec)
+            .map_err(|e| format!("{name}: {e}"))?;
+        write_scenario(dir, name, &rec.sorted_samples(), &powers, &mut files)?;
+    }
+
+    // Figure 8's direction: an array built from intra-disk parallel
+    // members, here with RAID-5 parity traffic to make the per-member
+    // tracks interesting.
+    {
+        let layout = Layout::raid5_default();
+        let disks = 4;
+        let array_trace = scenario_trace(scale, footprint);
+        let mut rec = RingRecorder::new();
+        run_array_traced(
+            &params,
+            DriveConfig::sa(2),
+            disks,
+            layout,
+            &array_trace,
+            &mut rec,
+        )
+        .map_err(|e| format!("array-raid5: {e}"))?;
+        write_scenario(dir, "array-raid5", &rec.sorted_samples(), &powers, &mut files)?;
+    }
+
+    // The overlapped engine at its most concurrent: per-arm channels,
+    // so seeks and transfers from different actuators interleave on
+    // the timeline.
+    {
+        let mut rec = RingRecorder::new();
+        overlap::replay_traced(
+            &params,
+            OverlapConfig::new(4, OverlapMode::MultiChannel),
+            trace.requests(),
+            &mut rec,
+        );
+        write_scenario(dir, "overlap-multichannel", &rec.sorted_samples(), &powers, &mut files)?;
+    }
+
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_powers_match_power_model() {
+        let params = hcsd_params();
+        let p = PowerModel::new(&params);
+        let m = mode_powers(&params);
+        assert_eq!(m.idle_w, p.idle_w());
+        assert_eq!(m.seek_w, p.seek_w(1));
+        assert_eq!(m.rotational_w, p.rotational_wait_w());
+        assert_eq!(m.transfer_w, p.transfer_w());
+        assert!(m.transfer_w > m.idle_w);
+    }
+
+    #[test]
+    fn export_writes_all_scenarios() {
+        let dir = std::env::temp_dir().join("telemetry-export-test");
+        let _ = fs::remove_dir_all(&dir);
+        let scale = Scale::quick().with_requests(200);
+        let files = export_traces(&dir, scale).expect("export succeeds");
+        assert_eq!(files.len(), 12, "4 scenarios x 3 files");
+        for f in &files {
+            let body = fs::read_to_string(dir.join(f)).expect("file exists");
+            assert!(!body.is_empty(), "{f} is empty");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -12,6 +12,7 @@
 
 use diskmodel::{DiskParams, DriveError, PowerModel};
 use simkit::{SimDuration, SimTime};
+use telemetry::{NullRecorder, PowerMode, Recorder, TraceEvent};
 
 use crate::cache::SegmentedCache;
 use crate::metrics::{close_idle_span, DriveMetrics, DriveMode, PowerBreakdown};
@@ -224,8 +225,21 @@ impl DiskDrive {
     /// failed.
     pub fn submit(
         &mut self,
+        req: IoRequest,
+        now: SimTime,
+    ) -> Result<Option<SimTime>, DriveError> {
+        self.submit_traced(req, now, &mut NullRecorder)
+    }
+
+    /// [`DiskDrive::submit`] with event tracing: every lifecycle step
+    /// (submission, queueing, dispatch, seek/rotation/transfer phases,
+    /// cache interaction) is emitted to `rec`. With
+    /// [`telemetry::NullRecorder`] this is exactly `submit`.
+    pub fn submit_traced<R: Recorder>(
+        &mut self,
         mut req: IoRequest,
         now: SimTime,
+        rec: &mut R,
     ) -> Result<Option<SimTime>, DriveError> {
         if now < req.arrival {
             return Err(DriveError::SubmitBeforeArrival {
@@ -236,13 +250,33 @@ impl DiskDrive {
         if req.lba >= self.capacity {
             req.lba %= self.capacity;
         }
+        if R::ENABLED {
+            rec.record(
+                now,
+                TraceEvent::RequestSubmitted {
+                    req: req.id,
+                    lba: req.lba,
+                    sectors: req.sectors,
+                    op: req.kind.into(),
+                },
+            );
+        }
         if self.in_service.is_some() {
             self.queue.push(req);
+            if R::ENABLED {
+                rec.record(
+                    now,
+                    TraceEvent::RequestQueued {
+                        req: req.id,
+                        depth: self.queue.len() as u32,
+                    },
+                );
+            }
             return Ok(None);
         }
         // Close the idle span that ends now.
         close_idle_span(&mut self.metrics.modes, self.idle_since, now);
-        Ok(Some(self.start_service(req, now)?))
+        Ok(Some(self.start_service(req, now, 0, rec)?))
     }
 
     /// Completes the in-service request (must be called exactly at the
@@ -258,6 +292,16 @@ impl DiskDrive {
         &mut self,
         now: SimTime,
     ) -> Result<(CompletedIo, Option<SimTime>), DriveError> {
+        self.complete_traced(now, &mut NullRecorder)
+    }
+
+    /// [`DiskDrive::complete`] with event tracing (see
+    /// [`DiskDrive::submit_traced`]).
+    pub fn complete_traced<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Result<(CompletedIo, Option<SimTime>), DriveError> {
         let srv = match self.in_service.take() {
             Some(srv) => srv,
             None => return Err(DriveError::NotInService),
@@ -271,16 +315,31 @@ impl DiskDrive {
             self.cache.install(lba, sectors);
         }
         self.metrics.record(&srv.done);
+        if R::ENABLED {
+            rec.record(now, TraceEvent::Complete { req: srv.done.request.id });
+        }
 
-        let next = self.dispatch_next(now)?;
+        let next = self.dispatch_next(now, rec)?;
         if next.is_none() {
             self.idle_since = now;
+            if R::ENABLED {
+                rec.record(now, TraceEvent::PowerModeChange { mode: PowerMode::Idle });
+                for (i, arm) in self.arms.iter().enumerate() {
+                    if !arm.failed {
+                        rec.record(now, TraceEvent::ActuatorIdle { actuator: i as u32 });
+                    }
+                }
+            }
         }
         Ok((srv.done, next))
     }
 
     /// Chooses and starts the next queued request, if any.
-    fn dispatch_next(&mut self, now: SimTime) -> Result<Option<SimTime>, DriveError> {
+    fn dispatch_next<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Result<Option<SimTime>, DriveError> {
         let policy = self.config.policy;
         let scaling = self.config.scaling;
         // Borrow pieces separately for the cost closure.
@@ -322,14 +381,23 @@ impl DiskDrive {
         let Some(next) = self.queue.pop_next(policy, cost) else {
             return Ok(None);
         };
-        Ok(Some(self.start_service(next, now)?))
+        let depth = self.queue.len() as u32;
+        Ok(Some(self.start_service(next, now, depth, rec)?))
     }
 
     /// Starts servicing `req` at `now`; returns the completion time.
-    fn start_service(
+    ///
+    /// `depth` is the queue depth left behind by this dispatch (0 when
+    /// service starts straight from `submit`). The whole access is
+    /// planned here, so the traced phase boundaries (seek, rotational
+    /// wait, transfer) are emitted now with their future timestamps;
+    /// the `(time, seq)` sample order restores the timeline.
+    fn start_service<R: Recorder>(
         &mut self,
         req: IoRequest,
         now: SimTime,
+        depth: u32,
+        rec: &mut R,
     ) -> Result<SimTime, DriveError> {
         let queue_wait = now.saturating_since(req.arrival);
         let overhead = self.overhead;
@@ -345,6 +413,21 @@ impl DiskDrive {
                 .modes
                 .add(DriveMode::Idle.key(), overhead);
             self.metrics.modes.add(DriveMode::Transfer.key(), bus);
+            if R::ENABLED {
+                rec.record(now, TraceEvent::CacheHit { req: req.id });
+                rec.record(
+                    now + overhead,
+                    TraceEvent::PowerModeChange { mode: PowerMode::Transfer },
+                );
+                rec.record(
+                    now + overhead,
+                    TraceEvent::Transfer {
+                        req: req.id,
+                        actuator: 0,
+                        dur: bus,
+                    },
+                );
+            }
             let done = CompletedIo {
                 request: req,
                 completed: finish,
@@ -379,6 +462,70 @@ impl DiskDrive {
             self.config.scaling,
         )?;
         let finish = now + overhead + plan.total();
+
+        if R::ENABLED {
+            // Capture the departure cylinder before the arm state is
+            // advanced to the access's end cylinder below.
+            let from_cylinder = self.arms[plan.actuator as usize].cylinder;
+            let seek_start = now + overhead;
+            let seek_end = seek_start + plan.seek;
+            let xfer_start = seek_end + plan.rotational;
+            rec.record(
+                now,
+                TraceEvent::Dispatched {
+                    req: req.id,
+                    actuator: plan.actuator,
+                    depth,
+                },
+            );
+            if req.kind.is_read() {
+                rec.record(now, TraceEvent::CacheMiss { req: req.id });
+            }
+            rec.record(
+                seek_start,
+                TraceEvent::PowerModeChange { mode: PowerMode::Seek },
+            );
+            rec.record(
+                seek_start,
+                TraceEvent::SeekStart {
+                    req: req.id,
+                    actuator: plan.actuator,
+                    from_cylinder,
+                    to_cylinder: plan.end_cylinder,
+                },
+            );
+            rec.record(
+                seek_end,
+                TraceEvent::SeekEnd {
+                    req: req.id,
+                    actuator: plan.actuator,
+                },
+            );
+            rec.record(
+                seek_end,
+                TraceEvent::PowerModeChange { mode: PowerMode::RotationalWait },
+            );
+            rec.record(
+                seek_end,
+                TraceEvent::RotWait {
+                    req: req.id,
+                    actuator: plan.actuator,
+                    dur: plan.rotational,
+                },
+            );
+            rec.record(
+                xfer_start,
+                TraceEvent::PowerModeChange { mode: PowerMode::Transfer },
+            );
+            rec.record(
+                xfer_start,
+                TraceEvent::Transfer {
+                    req: req.id,
+                    actuator: plan.actuator,
+                    dur: plan.transfer,
+                },
+            );
+        }
 
         self.arms[plan.actuator as usize].cylinder = plan.end_cylinder;
 

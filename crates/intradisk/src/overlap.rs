@@ -21,6 +21,7 @@
 
 use diskmodel::{DiskParams, PowerModel};
 use simkit::{SimDuration, SimTime};
+use telemetry::{NullRecorder, Recorder, TraceEvent};
 
 use crate::cache::SegmentedCache;
 use crate::metrics::{close_idle_span, DriveMetrics, DriveMode, PowerBreakdown};
@@ -145,17 +146,51 @@ impl OverlappedDrive {
 
     /// Submits a request; returns completion times newly scheduled by
     /// this submission (at most one per idle arm).
-    pub fn submit(&mut self, mut req: IoRequest, now: SimTime) -> Vec<SimTime> {
+    pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Vec<SimTime> {
+        self.submit_traced(req, now, &mut NullRecorder)
+    }
+
+    /// [`OverlappedDrive::submit`] with event tracing. The overlapped
+    /// engine emits no `PowerModeChange` events — with several arms
+    /// concurrently busy the drive has no single well-defined mode;
+    /// per-phase intervals (seek / rotational wait / transfer) are
+    /// still emitted per actuator.
+    pub fn submit_traced<R: Recorder>(
+        &mut self,
+        mut req: IoRequest,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Vec<SimTime> {
         assert!(now >= req.arrival, "submit before arrival");
         if req.lba >= self.capacity {
             req.lba %= self.capacity;
+        }
+        if R::ENABLED {
+            rec.record(
+                now,
+                TraceEvent::RequestSubmitted {
+                    req: req.id,
+                    lba: req.lba,
+                    sectors: req.sectors,
+                    op: req.kind.into(),
+                },
+            );
         }
         if self.in_flight.is_empty() {
             close_idle_span(&mut self.metrics.modes, self.idle_since, now);
             self.idle_since = now;
         }
         self.queue.push(req);
-        self.dispatch(now)
+        if R::ENABLED {
+            rec.record(
+                now,
+                TraceEvent::RequestQueued {
+                    req: req.id,
+                    depth: self.queue.len() as u32,
+                },
+            );
+        }
+        self.dispatch(now, rec)
     }
 
     /// Completes every in-flight request due exactly at `now`; returns
@@ -164,6 +199,19 @@ impl OverlappedDrive {
     /// # Panics
     /// Panics if nothing is due at `now`.
     pub fn complete(&mut self, now: SimTime) -> (Vec<CompletedIo>, Vec<SimTime>) {
+        self.complete_traced(now, &mut NullRecorder)
+    }
+
+    /// [`OverlappedDrive::complete`] with event tracing (see
+    /// [`OverlappedDrive::submit_traced`]).
+    ///
+    /// # Panics
+    /// Panics if nothing is due at `now`.
+    pub fn complete_traced<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        rec: &mut R,
+    ) -> (Vec<CompletedIo>, Vec<SimTime>) {
         let mut finished = Vec::new();
         let mut i = 0;
         while i < self.in_flight.len() {
@@ -173,15 +221,25 @@ impl OverlappedDrive {
                     self.cache.install(lba, sectors);
                 }
                 self.metrics.record(&f.done);
+                if R::ENABLED {
+                    rec.record(now, TraceEvent::Complete { req: f.done.request.id });
+                }
                 finished.push(f.done);
             } else {
                 i += 1;
             }
         }
         assert!(!finished.is_empty(), "no completion due at {now}");
-        let started = self.dispatch(now);
+        let started = self.dispatch(now, rec);
         if self.in_flight.is_empty() {
             self.idle_since = now;
+            if R::ENABLED {
+                for (a, arm) in self.arms.iter().enumerate() {
+                    if !arm.failed {
+                        rec.record(now, TraceEvent::ActuatorIdle { actuator: a as u32 });
+                    }
+                }
+            }
         }
         (finished, started)
     }
@@ -206,7 +264,7 @@ impl OverlappedDrive {
 
     /// Dispatches queued requests onto idle arms; returns new
     /// completion times.
-    fn dispatch(&mut self, now: SimTime) -> Vec<SimTime> {
+    fn dispatch<R: Recorder>(&mut self, now: SimTime, rec: &mut R) -> Vec<SimTime> {
         let mut started = Vec::new();
         loop {
             if self.in_flight.len() >= self.max_in_flight() {
@@ -244,7 +302,8 @@ impl OverlappedDrive {
             let Some(req) = self.queue.pop_next(QueuePolicy::Sptf, cost) else {
                 break;
             };
-            let finish = self.start_service(req, now);
+            let depth = self.queue.len() as u32;
+            let finish = self.start_service(req, now, depth, rec);
             started.push(finish);
         }
         started
@@ -255,7 +314,13 @@ impl OverlappedDrive {
     }
 
     /// Plans and starts `req` on the best idle arm at `now`.
-    fn start_service(&mut self, req: IoRequest, now: SimTime) -> SimTime {
+    fn start_service<R: Recorder>(
+        &mut self,
+        req: IoRequest,
+        now: SimTime,
+        depth: u32,
+        rec: &mut R,
+    ) -> SimTime {
         let queue_wait = now.saturating_since(req.arrival);
         let overhead = self.overhead_of();
 
@@ -267,6 +332,17 @@ impl OverlappedDrive {
             let finish = now + overhead + bus;
             self.metrics.modes.add(DriveMode::Idle.key(), overhead);
             self.metrics.modes.add(DriveMode::Transfer.key(), bus);
+            if R::ENABLED {
+                rec.record(now, TraceEvent::CacheHit { req: req.id });
+                rec.record(
+                    now + overhead,
+                    TraceEvent::Transfer {
+                        req: req.id,
+                        actuator: 0,
+                        dur: bus,
+                    },
+                );
+            }
             self.in_flight.push(InFlight {
                 done: CompletedIo {
                     request: req,
@@ -328,6 +404,55 @@ impl OverlappedDrive {
 
         let transfer = self.mech.transfer_time(req.lba % self.capacity, req.sectors);
         let finish = transfer_start + transfer;
+
+        if R::ENABLED {
+            let from_cylinder = self.arms[arm].cylinder;
+            rec.record(
+                now,
+                TraceEvent::Dispatched {
+                    req: req.id,
+                    actuator: arm as u32,
+                    depth,
+                },
+            );
+            if req.kind.is_read() {
+                rec.record(now, TraceEvent::CacheMiss { req: req.id });
+            }
+            rec.record(
+                seek_start,
+                TraceEvent::SeekStart {
+                    req: req.id,
+                    actuator: arm as u32,
+                    from_cylinder,
+                    to_cylinder: loc.cylinder,
+                },
+            );
+            rec.record(
+                seek_start + seek,
+                TraceEvent::SeekEnd {
+                    req: req.id,
+                    actuator: arm as u32,
+                },
+            );
+            // The rotational interval includes any shared-channel wait
+            // (the head is over the track, not transferring).
+            rec.record(
+                seek_start + seek,
+                TraceEvent::RotWait {
+                    req: req.id,
+                    actuator: arm as u32,
+                    dur: transfer_start - (seek_start + seek),
+                },
+            );
+            rec.record(
+                transfer_start,
+                TraceEvent::Transfer {
+                    req: req.id,
+                    actuator: arm as u32,
+                    dur: transfer,
+                },
+            );
+        }
 
         // Commit resources.
         self.arms[arm].cylinder = {
@@ -397,6 +522,16 @@ pub fn replay(
     config: OverlapConfig,
     requests: &[IoRequest],
 ) -> DriveMetrics {
+    replay_traced(params, config, requests, &mut NullRecorder)
+}
+
+/// [`replay`] with event tracing.
+pub fn replay_traced<R: Recorder>(
+    params: &DiskParams,
+    config: OverlapConfig,
+    requests: &[IoRequest],
+    rec: &mut R,
+) -> DriveMetrics {
     let mut drive = OverlappedDrive::new(params, config);
     let mut events: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
         std::collections::BinaryHeap::new();
@@ -415,7 +550,7 @@ pub fn replay(
             let r = requests[i];
             i += 1;
             end = end.max(r.arrival);
-            for t in drive.submit(r, r.arrival) {
+            for t in drive.submit_traced(r, r.arrival, rec) {
                 events.push(std::cmp::Reverse(t));
             }
         } else {
@@ -425,7 +560,7 @@ pub fn replay(
                 events.pop();
             }
             end = end.max(t);
-            let (_, started) = drive.complete(t);
+            let (_, started) = drive.complete_traced(t, rec);
             for s in started {
                 events.push(std::cmp::Reverse(s));
             }

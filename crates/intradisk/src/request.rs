@@ -18,6 +18,15 @@ impl IoKind {
     }
 }
 
+impl From<IoKind> for telemetry::IoOp {
+    fn from(kind: IoKind) -> telemetry::IoOp {
+        match kind {
+            IoKind::Read => telemetry::IoOp::Read,
+            IoKind::Write => telemetry::IoOp::Write,
+        }
+    }
+}
+
 /// One I/O request presented to a drive (or array).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoRequest {

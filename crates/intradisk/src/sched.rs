@@ -38,6 +38,7 @@ pub enum QueuePolicy {
 pub struct PendingQueue {
     queue: VecDeque<IoRequest>,
     window: usize,
+    peak_len: usize,
 }
 
 impl PendingQueue {
@@ -55,17 +56,26 @@ impl PendingQueue {
         PendingQueue {
             queue: VecDeque::new(),
             window,
+            peak_len: 0,
         }
     }
 
     /// Appends an arriving request.
     pub fn push(&mut self, req: IoRequest) {
         self.queue.push_back(req);
+        self.peak_len = self.peak_len.max(self.queue.len());
     }
 
     /// Number of queued requests.
     pub fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Largest depth the queue ever reached (telemetry cross-checks the
+    /// queue-depth percentiles it reconstructs from the event stream
+    /// against this).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// True if no requests are queued.
@@ -163,6 +173,17 @@ mod tests {
             .pop_next(QueuePolicy::Sptf, |r| SimDuration::from_millis(r.lba as f64))
             .unwrap();
         assert_eq!(got.id, 1);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = PendingQueue::new();
+        q.push(req(0, 1));
+        q.push(req(1, 2));
+        let _ = q.pop_next(QueuePolicy::Fcfs, |_| SimDuration::ZERO);
+        let _ = q.pop_next(QueuePolicy::Fcfs, |_| SimDuration::ZERO);
+        q.push(req(2, 3));
+        assert_eq!(q.peak_len(), 2);
     }
 
     #[test]

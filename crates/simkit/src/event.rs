@@ -51,6 +51,21 @@ impl<E> PartialEq for HeapEntry<E> {
 
 impl<E> Eq for HeapEntry<E> {}
 
+/// Deterministic dispatch counters of an [`EventQueue`] — how much
+/// calendar traffic a run generated and how deep the future-event list
+/// got. Pure functions of the simulated event sequence, so they are
+/// identical across runs and hosts, and cheap enough to maintain
+/// unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events scheduled over the queue's lifetime.
+    pub pushes: u64,
+    /// Events dispatched over the queue's lifetime.
+    pub pops: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_pending: usize,
+}
+
 /// A future-event list with stable FIFO ordering among simultaneous
 /// events.
 ///
@@ -63,12 +78,16 @@ impl<E> Eq for HeapEntry<E> {}
 /// q.push(SimTime::ZERO, "at-zero");
 /// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
 /// assert_eq!(order, vec!["at-zero", "first@1ms", "second@1ms"]);
+/// assert_eq!(q.stats().pushes, 3);
+/// assert_eq!(q.stats().pops, 3);
+/// assert_eq!(q.stats().peak_pending, 3);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     last_popped: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -84,6 +103,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
     }
 
@@ -93,6 +113,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
     }
 
@@ -111,12 +132,15 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapEntry { time, seq, payload });
+        self.stats.pushes += 1;
+        self.stats.peak_pending = self.stats.peak_pending.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.heap.pop().map(|e| {
             self.last_popped = e.time;
+            self.stats.pops += 1;
             ScheduledEvent {
                 time: e.time,
                 payload: e.payload,
@@ -143,6 +167,11 @@ impl<E> EventQueue<E> {
     /// simulation clock as seen by the queue).
     pub fn now(&self) -> SimTime {
         self.last_popped
+    }
+
+    /// Lifetime dispatch counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -213,5 +242,21 @@ mod tests {
         q.push(SimTime::from_millis(9.0), ());
         q.pop();
         assert_eq!(q.now(), SimTime::from_millis(9.0));
+    }
+
+    #[test]
+    fn stats_track_traffic_and_peak() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.push(SimTime::from_millis(1.0), ());
+        q.push(SimTime::from_millis(2.0), ());
+        q.pop();
+        q.push(SimTime::from_millis(3.0), ());
+        q.pop();
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.pushes, 3);
+        assert_eq!(s.pops, 3);
+        assert_eq!(s.peak_pending, 2);
     }
 }

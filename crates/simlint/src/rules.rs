@@ -18,12 +18,14 @@ pub const SIM_CRATES: &[&str] = &[
     "intradisk",
     "array",
     "workload",
+    "telemetry",
     "experiments",
 ];
 
 /// Crates holding simulator *state*, where iteration order and panics
 /// directly threaten reproducibility of results.
-pub const CORE_CRATES: &[&str] = &["simkit", "diskmodel", "intradisk", "array", "workload"];
+pub const CORE_CRATES: &[&str] =
+    &["simkit", "diskmodel", "intradisk", "array", "workload", "telemetry"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,8 +4,10 @@
 # Runs the tier-1 check from ROADMAP.md (release build + full test
 # suite), with the simlint determinism gate between build and tests,
 # a reduced-scale parallel-sweep determinism check (the `repro` report
-# must be byte-identical at --jobs 2 and --jobs 1), and then the test
-# suite again with ignored tests included.
+# must be byte-identical at --jobs 2 and --jobs 1), the telemetry
+# trace-export determinism check (every `--trace` file byte-identical
+# across runs and --jobs values), and then the test suite again with
+# ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -25,6 +27,13 @@ trap 'rm -rf "$sweep_dir"' EXIT
 target/release/repro all --requests 2000 --jobs 1 > "$sweep_dir/serial.txt" 2>/dev/null
 target/release/repro all --requests 2000 --jobs 2 > "$sweep_dir/jobs2.txt" 2>/dev/null
 cmp "$sweep_dir/serial.txt" "$sweep_dir/jobs2.txt"
+
+echo "==> gate: telemetry --trace export byte-identical across runs and --jobs"
+target/release/repro validate --requests 2000 --jobs 1 --trace "$sweep_dir/tr1" >/dev/null 2>&1
+target/release/repro validate --requests 2000 --jobs 2 --trace "$sweep_dir/tr2" >/dev/null 2>&1
+for f in "$sweep_dir"/tr1/*; do
+  cmp "$f" "$sweep_dir/tr2/$(basename "$f")"
+done
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

@@ -250,6 +250,58 @@ fn oracle_identical_seeds_produce_byte_identical_metrics() {
     assert_ne!(first, other, "fingerprint is insensitive to the seed");
 }
 
+// --------------------------------------------- telemetry cross-check
+
+#[test]
+fn oracle_telemetry_agrees_with_power_accounting() {
+    // Satellite oracle: the event stream is a *second* record of the
+    // same run. Time-in-mode reconstructed from telemetry must match
+    // the drive's own mode accumulator mode-for-mode, and the energy
+    // implied by (time-in-mode x mode power) must match the power
+    // model's (average power x span).
+    use intradisk::DriveMode;
+    use telemetry::{PowerMode, RingRecorder, TraceAnalysis};
+
+    let params = presets::barracuda_es_750gb();
+    let t = trace(6.0, 2_000, 13);
+    let powers = experiments::tracing::mode_powers(&params);
+    for actuators in [1u32, 4] {
+        let mut rec = RingRecorder::new();
+        let r = experiments::run_drive_traced(&params, DriveConfig::sa(actuators), &t, &mut rec)
+            .expect("replay succeeds");
+        assert_eq!(rec.dropped(), 0, "ring overflowed");
+        let analysis = TraceAnalysis::from_samples(&rec.sorted_samples());
+        let scope = analysis.scope(0).expect("scope 0 present");
+        for (mode, drive_mode) in [
+            (PowerMode::Idle, DriveMode::Idle),
+            (PowerMode::Seek, DriveMode::Seek),
+            (PowerMode::RotationalWait, DriveMode::RotationalWait),
+            (PowerMode::Transfer, DriveMode::Transfer),
+        ] {
+            testkit::golden::assert_abs(
+                &format!("SA({actuators}) time in {}", mode.name()),
+                scope.time_in(mode).as_millis(),
+                r.metrics.modes.time_in(drive_mode.key()).as_millis(),
+                1e-6,
+            );
+        }
+        let telemetry_energy = scope.energy_joules(&powers);
+        let model_energy = r.power.total_w() * r.duration.as_secs();
+        testkit::golden::assert_rel(
+            &format!("SA({actuators}) energy"),
+            telemetry_energy,
+            model_energy,
+            1e-9,
+        );
+        testkit::golden::assert_rel(
+            &format!("SA({actuators}) average power"),
+            scope.average_power_w(&powers),
+            r.power.total_w(),
+            1e-9,
+        );
+    }
+}
+
 // ------------------------------- parallel-execution determinism oracle
 
 /// Renders every study's full report at a reduced scale on `exec`.
