@@ -60,6 +60,9 @@ pub struct ArrayMetrics {
     pub response_time_ms: Summary,
     /// Logical response-time histogram over the paper's CDF edges.
     pub response_hist: Histogram,
+    /// Bounded-memory streaming view of the logical response times
+    /// (O(buckets) memory, documented percentile error bound).
+    pub response_stream: simkit::StreamingHistogram,
     /// Completed logical requests.
     pub completed: u64,
 }
@@ -69,6 +72,7 @@ impl ArrayMetrics {
         ArrayMetrics {
             response_time_ms: Summary::new(),
             response_hist: Histogram::new(Histogram::paper_response_time_edges()),
+            response_stream: simkit::StreamingHistogram::new(),
             completed: 0,
         }
     }
@@ -77,6 +81,7 @@ impl ArrayMetrics {
         let rt = c.response_time().as_millis();
         self.response_time_ms.record(rt);
         self.response_hist.record(rt);
+        self.response_stream.record(rt);
         self.completed += 1;
     }
 }

@@ -1,11 +1,13 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S] [--trace DIR]
+//! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S]
+//!       [--trace DIR] [--metrics DIR]
+//! repro report DIR
 //!
-//! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
-//!             fig8 | table9 | fig9 | thermal | drpm | all
-//!             (default: all; `all` includes the extension studies)
+//! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 (alias: sa_eval) |
+//!             fig6 | fig7 | fig8 | table9 | fig9 | thermal | drpm |
+//!             all (default: all; `all` includes the extension studies)
 //! ```
 //!
 //! Sweeps fan out across `--jobs` worker threads (default: the
@@ -15,8 +17,12 @@
 //!
 //! `--trace DIR` additionally exports the fixed telemetry scenarios
 //! (see `experiments::tracing`) as Perfetto-loadable JSON + CSV + an
-//! analysis summary; the export is byte-identical across runs and
-//! `--jobs` values.
+//! analysis summary; `--metrics DIR` exports the same scenarios as
+//! Prometheus text + stable JSON metrics snapshots (see
+//! `experiments::metrics_export`). Both exports are byte-identical
+//! across runs and `--jobs` values. `repro report DIR` renders the
+//! metrics exports in DIR into a single self-contained
+//! `DIR/report.html` dashboard.
 
 use std::env;
 use std::fs::File;
@@ -36,6 +42,8 @@ struct Args {
     actuators: u32,
     jobs: usize,
     trace_dir: Option<String>,
+    metrics_dir: Option<String>,
+    report_dir: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -51,11 +59,16 @@ fn parse_args() -> Result<Args, String> {
     let mut actuators = 4u32;
     let mut jobs = default_jobs();
     let mut trace_dir = None;
+    let mut metrics_dir = None;
+    let mut report_dir = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => {
                 trace_dir = Some(it.next().ok_or("--trace needs a directory")?);
+            }
+            "--metrics" => {
+                metrics_dir = Some(it.next().ok_or("--metrics needs a directory")?);
             }
             "--actuators" => {
                 actuators = it
@@ -91,19 +104,26 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--trace DIR]\n       repro spc <trace-file> [--actuators N] [--requests N]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]"
                         .to_string(),
                 );
             }
             other if !other.starts_with('-') => {
                 if experiment == "spc" && spc_file.is_none() {
                     spc_file = Some(other.to_string());
+                } else if experiment == "report" && report_dir.is_none() {
+                    report_dir = Some(other.to_string());
                 } else {
                     experiment = other.to_string();
                 }
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    // `sa_eval` is the study behind the paper's Figure 5 CDFs; accept
+    // it as an alias so metrics tooling can name the study directly.
+    if experiment == "sa_eval" {
+        experiment = "fig5".to_string();
     }
     Ok(Args {
         experiment,
@@ -112,6 +132,8 @@ fn parse_args() -> Result<Args, String> {
         actuators,
         jobs,
         trace_dir,
+        metrics_dir,
+        report_dir,
     })
 }
 
@@ -255,15 +277,32 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.experiment == "report" {
+        let Some(dir) = args.report_dir.as_deref() else {
+            eprintln!("report mode needs a directory: repro report <metrics-dir>");
+            return ExitCode::FAILURE;
+        };
+        return match experiments::metrics_export::write_report(std::path::Path::new(dir)) {
+            Ok(path) => {
+                eprintln!("[report: {}]", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("report failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let exec = Executor::new(args.jobs).with_progress();
     if let Err(e) = run_experiments(&args, &exec) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
 
-    // Trace export runs serially after the sweeps, and its file list
-    // goes to stderr: stdout stays byte-identical whether or not (and
-    // with whatever --jobs) tracing is enabled.
+    // Trace and metrics exports run serially after the sweeps, and
+    // their file lists go to stderr: stdout stays byte-identical
+    // whether or not (and with whatever --jobs) they are enabled.
     if let Some(dir) = args.trace_dir.as_deref() {
         let dir = std::path::Path::new(dir);
         match experiments::tracing::export_traces(dir, args.scale) {
@@ -272,8 +311,22 @@ fn main() -> ExitCode {
                     eprintln!("[trace: {}]", dir.join(f).display());
                 }
             }
-            Err(msg) => {
-                eprintln!("trace export failed: {msg}");
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = args.metrics_dir.as_deref() {
+        let dir = std::path::Path::new(dir);
+        match experiments::metrics_export::export_metrics(dir, args.scale) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("[metrics: {}]", dir.join(f).display());
+                }
+            }
+            Err(e) => {
+                eprintln!("metrics export failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -37,6 +37,7 @@ pub mod cost_analysis;
 pub mod exec;
 pub mod extensions;
 pub mod limit_study;
+pub mod metrics_export;
 pub mod plan;
 pub mod raid_eval;
 pub mod replication;

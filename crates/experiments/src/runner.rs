@@ -38,6 +38,13 @@ impl DriveRunResult {
     pub fn p90_ms(&self) -> f64 {
         self.metrics.response_time_ms.percentile(90.0)
     }
+
+    /// The 90th percentile from the bounded-memory streaming histogram
+    /// — agrees with [`DriveRunResult::p90_ms`] within the streaming
+    /// histogram's documented relative-error bound.
+    pub fn p90_stream_ms(&self) -> f64 {
+        self.metrics.response_stream.percentile(90.0)
+    }
 }
 
 /// Result of replaying a trace on an array.
@@ -47,6 +54,8 @@ pub struct ArrayRunResult {
     pub response_time_ms: Summary,
     /// Logical response-time histogram over the paper's edges.
     pub response_hist: simkit::Histogram,
+    /// Bounded-memory streaming view of the logical response times.
+    pub response_stream: simkit::StreamingHistogram,
     /// Sum of the member drives' power breakdowns.
     pub power: PowerBreakdown,
     /// Wall-clock span of the run.
@@ -62,6 +71,13 @@ impl ArrayRunResult {
     /// is an indexed read on a shared reference.
     pub fn p90_ms(&self) -> f64 {
         self.response_time_ms.percentile(90.0)
+    }
+
+    /// The 90th percentile from the bounded-memory streaming histogram
+    /// — agrees with [`ArrayRunResult::p90_ms`] within the streaming
+    /// histogram's documented relative-error bound.
+    pub fn p90_stream_ms(&self) -> f64 {
+        self.response_stream.percentile(90.0)
     }
 }
 
@@ -201,6 +217,7 @@ pub fn run_array_traced<R: Recorder>(
     Ok(ArrayRunResult {
         response_time_ms: m.response_time_ms.clone(),
         response_hist: m.response_hist.clone(),
+        response_stream: m.response_stream.clone(),
         power: array.power_breakdown(),
         duration: end.saturating_since(SimTime::ZERO),
         completed: m.completed,

@@ -28,6 +28,7 @@ use telemetry::{chrome_trace_json, timeline_csv, ModePowers, RingRecorder, Trace
 use workload::{SyntheticSpec, Trace};
 
 use crate::configs::{hcsd_params, Scale};
+use crate::metrics_export::ExportError;
 use crate::runner::{run_array_traced, run_drive_traced};
 
 /// Requests per trace scenario (capped by the run's `--requests`).
@@ -39,6 +40,10 @@ pub const TRACE_REQUESTS: usize = 4_000;
 
 /// Seed for the trace scenarios' synthetic workload.
 const TRACE_SEED: u64 = 42;
+
+/// Footprint of the scenario workloads (~100 GB, well inside every
+/// config).
+pub(crate) const TRACE_FOOTPRINT_SECTORS: u64 = 200_000_000;
 
 /// Derives the analyzer's power levels from the drive's power model,
 /// so telemetry-side energy uses exactly the constants the simulator
@@ -53,13 +58,13 @@ pub fn mode_powers(params: &DiskParams) -> ModePowers {
     }
 }
 
-fn scenario_trace(scale: Scale, footprint_sectors: u64) -> Trace {
+pub(crate) fn scenario_trace(scale: Scale, footprint_sectors: u64) -> Trace {
     let n = scale.requests.min(TRACE_REQUESTS);
     SyntheticSpec::paper(6.0, footprint_sectors, n).generate(TRACE_SEED)
 }
 
-fn analysis_text(samples: &[telemetry::Sample], powers: &ModePowers) -> String {
-    let analysis = TraceAnalysis::from_samples(samples);
+fn analysis_text(rec: &RingRecorder, powers: &ModePowers) -> String {
+    let analysis = TraceAnalysis::from_recorder(rec);
     let mut out = analysis.render_text();
     for (scope, s) in &analysis.scopes {
         let _ = writeln!(
@@ -75,18 +80,26 @@ fn analysis_text(samples: &[telemetry::Sample], powers: &ModePowers) -> String {
 fn write_scenario(
     dir: &Path,
     name: &str,
-    samples: &[telemetry::Sample],
+    rec: &RingRecorder,
     powers: &ModePowers,
     files: &mut Vec<String>,
-) -> Result<(), String> {
+) -> Result<(), ExportError> {
+    let samples = rec.sorted_samples();
     for (suffix, body) in [
-        ("trace.json", chrome_trace_json(samples)),
-        ("timeline.csv", timeline_csv(samples)),
-        ("analysis.txt", analysis_text(samples, powers)),
+        ("trace.json", chrome_trace_json(&samples)),
+        ("timeline.csv", timeline_csv(&samples)),
+        // from_recorder carries the drop count, so a truncated ring
+        // stamps a WARNING line into the analysis instead of silently
+        // under-reporting utilization and energy.
+        ("analysis.txt", analysis_text(rec, powers)),
     ] {
         let file = format!("{name}.{suffix}");
         let path = dir.join(&file);
-        fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        fs::write(&path, body).map_err(|source| ExportError::Io {
+            path: path.clone(),
+            action: "write",
+            source,
+        })?;
         files.push(file);
     }
     Ok(())
@@ -94,21 +107,24 @@ fn write_scenario(
 
 /// Replays the trace scenarios and exports them under `dir` (created
 /// if missing). Returns the file names written, in a fixed order.
-pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, String> {
-    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportError> {
+    fs::create_dir_all(dir).map_err(|source| ExportError::Io {
+        path: dir.to_path_buf(),
+        action: "create",
+        source,
+    })?;
     let mut files = Vec::new();
     let params = hcsd_params();
     let powers = mode_powers(&params);
-    let footprint = 200_000_000; // ~100 GB, well inside every config
-    let trace = scenario_trace(scale, footprint);
+    let trace = scenario_trace(scale, TRACE_FOOTPRINT_SECTORS);
 
     // The limit study's two poles: the conventional high-capacity
     // drive and its 4-actuator intra-disk parallel variant.
     for (name, actuators) in [("hcsd-sa1", 1u32), ("hcsd-sa4", 4u32)] {
         let mut rec = RingRecorder::new();
         run_drive_traced(&params, DriveConfig::sa(actuators), &trace, &mut rec)
-            .map_err(|e| format!("{name}: {e}"))?;
-        write_scenario(dir, name, &rec.sorted_samples(), &powers, &mut files)?;
+            .map_err(|source| ExportError::Simulation { scenario: name, source })?;
+        write_scenario(dir, name, &rec, &powers, &mut files)?;
     }
 
     // Figure 8's direction: an array built from intra-disk parallel
@@ -117,7 +133,7 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, String> {
     {
         let layout = Layout::raid5_default();
         let disks = 4;
-        let array_trace = scenario_trace(scale, footprint);
+        let array_trace = scenario_trace(scale, TRACE_FOOTPRINT_SECTORS);
         let mut rec = RingRecorder::new();
         run_array_traced(
             &params,
@@ -127,8 +143,8 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, String> {
             &array_trace,
             &mut rec,
         )
-        .map_err(|e| format!("array-raid5: {e}"))?;
-        write_scenario(dir, "array-raid5", &rec.sorted_samples(), &powers, &mut files)?;
+        .map_err(|source| ExportError::Simulation { scenario: "array-raid5", source })?;
+        write_scenario(dir, "array-raid5", &rec, &powers, &mut files)?;
     }
 
     // The overlapped engine at its most concurrent: per-arm channels,
@@ -142,7 +158,7 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, String> {
             trace.requests(),
             &mut rec,
         );
-        write_scenario(dir, "overlap-multichannel", &rec.sorted_samples(), &powers, &mut files)?;
+        write_scenario(dir, "overlap-multichannel", &rec, &powers, &mut files)?;
     }
 
     Ok(files)

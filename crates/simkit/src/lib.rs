@@ -38,5 +38,5 @@ pub mod time;
 pub use dist::{Bernoulli, Exponential, LogNormal, Pareto, Sample, UniformRange, Zipf};
 pub use event::{EventQueue, QueueStats, ScheduledEvent};
 pub use rng::Rng64;
-pub use stats::{Cdf, Histogram, ModeAccumulator, P2Quantile, Pdf, Summary};
+pub use stats::{Cdf, Histogram, ModeAccumulator, P2Quantile, Pdf, StreamingHistogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -4,10 +4,12 @@
 
 mod histogram;
 mod quantile;
+mod streamhist;
 mod summary;
 mod timeweight;
 
 pub use histogram::{Cdf, Histogram, Pdf};
 pub use quantile::P2Quantile;
+pub use streamhist::StreamingHistogram;
 pub use summary::Summary;
 pub use timeweight::ModeAccumulator;

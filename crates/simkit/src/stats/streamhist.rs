@@ -1,0 +1,404 @@
+//! Streaming log-bucketed histogram: bounded-memory percentiles.
+//!
+//! [`Summary`](super::Summary) keeps every sample, which is exact but
+//! cannot scale to the ROADMAP's "millions of users" north star — a
+//! billion-request run would hold a billion `f64`s. [`StreamingHistogram`]
+//! is the bounded-memory replacement: samples land in geometrically
+//! spaced buckets, so memory is O(buckets) regardless of sample count
+//! and every percentile query carries a *documented relative-error
+//! bound*.
+//!
+//! # Error bound
+//!
+//! With relative error `r`, bucket edges grow by `(1 + r)^2` per
+//! bucket and a percentile estimate is the geometric mean of its
+//! bucket's bounds, so for any true value `v` inside the resolvable
+//! range `[floor, cap]`:
+//!
+//! ```text
+//! |estimate − v| / v ≤ r
+//! ```
+//!
+//! Values at or below `floor` report the exact tracked minimum
+//! (absolute error ≤ `floor`); values above `cap` report the exact
+//! tracked maximum. The defaults (`r = 1%`, `floor = 1 µs`,
+//! `cap = 1000 s`, expressed in milliseconds) cover every latency this
+//! simulator can produce with ~1 040 buckets (≈ 8 KiB).
+//!
+//! # Determinism
+//!
+//! Bucket edges are precomputed by repeated multiplication — the same
+//! float operations in the same order on every run — and lookups are a
+//! binary search, so the histogram is a pure function of its sample
+//! multiset. Counts (and therefore percentiles, min, max, total) are
+//! order-independent; only `sum` (and thus `mean`) depends on the
+//! insertion order of float additions, which the deterministic
+//! plan-order reduction of parallel sweeps fixes.
+
+/// Default relative-error bound for percentile estimates (1%).
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+/// Default smallest resolvable value (1 µs, in ms).
+pub const DEFAULT_FLOOR: f64 = 1e-3;
+/// Default largest resolvable value (1000 s, in ms).
+pub const DEFAULT_CAP: f64 = 1e6;
+
+/// A bounded-memory histogram over geometrically spaced buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogram {
+    /// Upper bucket edges: `edges[0] = floor`, `edges[i] = floor·g^i`,
+    /// strictly increasing, last edge ≥ `cap`.
+    edges: Vec<f64>,
+    /// `edges.len() + 1` buckets: bucket `0` holds values `≤ floor`,
+    /// bucket `i` holds `(edges[i-1], edges[i]]`, and the final bucket
+    /// holds values above the last edge.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    rel_err: f64,
+    growth: f64,
+}
+
+impl StreamingHistogram {
+    /// Creates a histogram with the default 1% error bound over the
+    /// default `[1 µs, 1000 s]` range (in milliseconds).
+    pub fn new() -> Self {
+        Self::with_relative_error(DEFAULT_RELATIVE_ERROR)
+    }
+
+    /// Creates a histogram with the given relative-error bound over
+    /// the default range.
+    ///
+    /// # Panics
+    /// Panics if `rel_err` is outside `(0, 0.5]`.
+    pub fn with_relative_error(rel_err: f64) -> Self {
+        Self::with_config(rel_err, DEFAULT_FLOOR, DEFAULT_CAP)
+    }
+
+    /// Creates a histogram resolving `[floor, cap]` with relative
+    /// error `rel_err`.
+    ///
+    /// # Panics
+    /// Panics if `rel_err` is outside `(0, 0.5]` or `0 < floor < cap`
+    /// does not hold.
+    pub fn with_config(rel_err: f64, floor: f64, cap: f64) -> Self {
+        assert!(
+            rel_err > 0.0 && rel_err <= 0.5,
+            "relative error must be in (0, 0.5]: {rel_err}"
+        );
+        assert!(
+            floor > 0.0 && floor < cap && cap.is_finite(),
+            "need 0 < floor < cap: [{floor}, {cap}]"
+        );
+        let growth = (1.0 + rel_err) * (1.0 + rel_err);
+        let mut edges = vec![floor];
+        let mut edge = floor;
+        while edge < cap {
+            edge *= growth;
+            edges.push(edge);
+        }
+        let counts = vec![0; edges.len() + 1];
+        StreamingHistogram {
+            edges,
+            counts,
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rel_err,
+            growth,
+        }
+    }
+
+    /// The documented relative-error bound for percentile estimates of
+    /// values inside the resolvable range.
+    pub fn relative_error(&self) -> f64 {
+        self.rel_err
+    }
+
+    /// Smallest resolvable value; everything at or below it shares
+    /// bucket 0.
+    pub fn floor(&self) -> f64 {
+        self.edges[0]
+    }
+
+    /// Largest resolvable value; everything above the last edge shares
+    /// the overflow bucket.
+    pub fn cap(&self) -> f64 {
+        self.edges[self.edges.len() - 1]
+    }
+
+    /// Number of buckets (memory is O(this), independent of samples).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN or negative (latencies are
+    /// non-negative; a negative sample is an upstream unit bug).
+    pub fn record(&mut self, value: f64) {
+        assert!(value >= 0.0, "negative or NaN sample: {value}");
+        let idx = self.edges.partition_point(|&e| e < value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Exact smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) by the nearest-rank method
+    /// (the same rank rule as [`Summary`](super::Summary)), or 0 if
+    /// empty. The estimate obeys the error bound documented at the
+    /// module level and is always clamped into `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut cum = 0u64;
+        let mut idx = self.counts.len() - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let est = if idx == 0 {
+            // Sub-floor bucket: the tracked minimum is in it whenever
+            // it is non-empty, and |min − v| ≤ floor for every v here.
+            self.min
+        } else if idx == self.counts.len() - 1 {
+            // Overflow bucket: the tracked maximum is in it.
+            self.max
+        } else {
+            // Geometric mean of the bucket bounds: off by at most a
+            // factor of sqrt(growth) = 1 + rel_err either way.
+            (self.edges[idx - 1] * self.edges[idx]).sqrt()
+        };
+        est.clamp(self.min, self.max)
+    }
+
+    /// Per-bucket counts over the resolvable range, as
+    /// `(lower, upper, count)` triples for the non-empty buckets —
+    /// what an exporter needs to rebuild the distribution.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = if i == 0 {
+                (0.0, self.edges[0])
+            } else if i == self.counts.len() - 1 {
+                (self.edges[i - 1], f64::INFINITY)
+            } else {
+                (self.edges[i - 1], self.edges[i])
+            };
+            out.push((lo, hi, c));
+        }
+        out
+    }
+
+    /// Merges another histogram with the same configuration into this
+    /// one. Counts, totals, min/max merge exactly; `sum` (and so
+    /// `mean`) is subject to float-addition ordering, which plan-order
+    /// sweep reduction makes deterministic.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        assert!(
+            self.edges.len() == other.edges.len()
+                && (self.growth - other.growth).abs() < 1e-12
+                && (self.edges[0] - other.edges[0]).abs() < 1e-12,
+            "incompatible streaming-histogram configurations"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn empty_is_zeroes() {
+        let h = StreamingHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(90.0), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn default_range_and_size() {
+        let h = StreamingHistogram::new();
+        assert!(h.floor() <= DEFAULT_FLOOR);
+        assert!(h.cap() >= DEFAULT_CAP);
+        // ln(1e9) / ln(1.01^2) ≈ 1 042 buckets — bounded memory.
+        assert!(h.buckets() < 1_200, "{} buckets", h.buckets());
+    }
+
+    #[test]
+    fn percentiles_within_bound_vs_exact() {
+        let mut stream = StreamingHistogram::new();
+        let mut exact = Summary::new();
+        // A latency-shaped spread over four decades.
+        for i in 1..=10_000u64 {
+            let v = 0.05 * (i as f64).powf(1.3);
+            stream.record(v);
+            exact.record(v);
+        }
+        exact.finalize();
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let e = exact.percentile(p);
+            let s = stream.percentile(p);
+            assert!(
+                (s - e).abs() / e <= stream.relative_error() + 1e-12,
+                "p{p}: stream {s} vs exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_mean_exact() {
+        let mut h = StreamingHistogram::new();
+        for v in [4.0, 1.0, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 7.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn sub_floor_and_overflow_report_tracked_extremes() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        h.record(5e7); // far above cap
+        assert_eq!(h.percentile(100.0), 5e7);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut whole = StreamingHistogram::new();
+        for i in 0..1000u64 {
+            let v = 0.5 + (i as f64) * 0.37;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn counts_are_order_independent() {
+        let vals: Vec<f64> = (1..500u64).map(|i| (i as f64) * 0.11).collect();
+        let mut fwd = StreamingHistogram::new();
+        let mut rev = StreamingHistogram::new();
+        for &v in &vals {
+            fwd.record(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.record(v);
+        }
+        for p in [1.0, 50.0, 90.0, 100.0] {
+            assert_eq!(fwd.percentile(p), rev.percentile(p));
+        }
+        assert_eq!(fwd.nonzero_buckets(), rev.nonzero_buckets());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or NaN")]
+    fn nan_rejected() {
+        StreamingHistogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_mismatched_config() {
+        let mut a = StreamingHistogram::with_relative_error(0.01);
+        let b = StreamingHistogram::with_relative_error(0.05);
+        a.merge(&b);
+    }
+}

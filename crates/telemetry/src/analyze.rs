@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use simkit::{SimDuration, SimTime};
 
 use crate::event::{sort_samples, PowerMode, Sample, TraceEvent};
+use crate::recorder::RingRecorder;
 
 /// Per-mode power levels in watts, decoupled from the disk model so the
 /// analyzer stays dependency-free (callers derive one from
@@ -144,6 +145,13 @@ pub struct TraceAnalysis {
     pub scopes: BTreeMap<u32, ScopeAnalysis>,
     /// Number of samples analyzed.
     pub samples: usize,
+    /// Events evicted by the bounded recorder before analysis
+    /// ([`RingRecorder::dropped`]). When nonzero the stream is
+    /// truncated: counts are lower bounds and utilization/energy can
+    /// be silently low. [`TraceAnalysis::render_text`] prints a
+    /// warning, and [`crate::schema::validate_recorded`] reports it as
+    /// a typed issue.
+    pub dropped: u64,
 }
 
 /// Mutable accumulation state for one scope while walking the stream.
@@ -238,7 +246,21 @@ impl TraceAnalysis {
         TraceAnalysis {
             scopes,
             samples: sorted.len(),
+            dropped: 0,
         }
+    }
+
+    /// Analyzes everything a bounded recorder retained, carrying its
+    /// drop count so truncation cannot pass unnoticed.
+    pub fn from_recorder(rec: &RingRecorder) -> TraceAnalysis {
+        let mut analysis = Self::from_samples(&rec.sorted_samples());
+        analysis.dropped = rec.dropped();
+        analysis
+    }
+
+    /// True if the recorder evicted events before analysis.
+    pub fn is_truncated(&self) -> bool {
+        self.dropped > 0
     }
 
     /// The analysis for `scope`, if that scope emitted anything.
@@ -254,6 +276,13 @@ impl TraceAnalysis {
             self.samples,
             self.scopes.len()
         ));
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "WARNING: {} event(s) dropped by the bounded recorder; \
+counts are lower bounds and utilization/energy may be underestimated\n",
+                self.dropped
+            ));
+        }
         for sc in self.scopes.values() {
             let label = if sc.scope == 0 {
                 "drive".to_string()
@@ -439,6 +468,28 @@ mod tests {
         assert_eq!(q.p90, 1);
         assert_eq!(q.p99, 2);
         assert_eq!(q.observed, SimDuration::from_millis(10.0));
+    }
+
+    #[test]
+    fn from_recorder_surfaces_drop_count() {
+        let mut r = RingRecorder::with_capacity(2);
+        for i in 0..6u64 {
+            r.record(
+                SimTime::from_millis(i as f64),
+                TraceEvent::Complete { req: i },
+            );
+        }
+        let a = TraceAnalysis::from_recorder(&r);
+        assert_eq!(a.dropped, 4);
+        assert!(a.is_truncated());
+        let text = a.render_text();
+        assert!(text.contains("WARNING: 4 event(s) dropped"));
+        // An intact recorder analyzes clean.
+        let mut intact = RingRecorder::new();
+        intact.record(SimTime::ZERO, TraceEvent::Complete { req: 0 });
+        let a = TraceAnalysis::from_recorder(&intact);
+        assert!(!a.is_truncated());
+        assert!(!a.render_text().contains("WARNING"));
     }
 
     #[test]

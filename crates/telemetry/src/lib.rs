@@ -44,12 +44,14 @@
 pub mod analyze;
 pub mod event;
 pub mod export;
+pub mod metrics;
 pub mod recorder;
 pub mod schema;
 
 pub use analyze::{ActuatorTimeline, ModePowers, QueueDepthStats, ScopeAnalysis, TraceAnalysis};
 pub use event::{sort_samples, IoOp, PowerMode, Sample, TraceEvent};
 pub use export::{chrome_trace_json, timeline_csv, MODE_TID, REQUESTS_TID};
+pub use metrics::{MetricsRecorder, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{NullRecorder, Recorder, RingRecorder, ScopedRecorder, DEFAULT_CAPACITY};
 
 #[doc(no_inline)]

@@ -7,12 +7,63 @@
 //! in a scope that never saw it submitted.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use crate::event::{Sample, TraceEvent};
+use crate::recorder::RingRecorder;
 
 /// Cap on collected violation messages (a malformed trace with
 /// millions of samples should not produce millions of strings).
 const MAX_VIOLATIONS: usize = 32;
+
+/// A typed validation issue, so callers can distinguish a *truncated*
+/// stream (bounded recorder evicted events — every derived number is
+/// a lower bound) from a *malformed* one (a structural rule broke).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// The recorder dropped events before validation; the retained
+    /// stream may legitimately fail structural rules (e.g. a
+    /// `SeekEnd` whose `SeekStart` was evicted) and any analysis on
+    /// it undercounts.
+    DroppedEvents {
+        /// How many samples were evicted.
+        dropped: u64,
+    },
+    /// A structural schema rule was violated.
+    Structural(String),
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::DroppedEvents { dropped } => write!(
+                f,
+                "{dropped} event(s) dropped by the bounded recorder (stream truncated)"
+            ),
+            Issue::Structural(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Validates everything a bounded recorder retained, reporting drops
+/// as a typed [`Issue::DroppedEvents`] ahead of any structural
+/// violations. A trace that dropped events never validates clean.
+pub fn validate_recorded(rec: &RingRecorder, actuators: u32) -> Result<(), Vec<Issue>> {
+    let mut issues: Vec<Issue> = Vec::new();
+    if rec.dropped() > 0 {
+        issues.push(Issue::DroppedEvents {
+            dropped: rec.dropped(),
+        });
+    }
+    if let Err(violations) = validate(&rec.sorted_samples(), actuators) {
+        issues.extend(violations.into_iter().map(Issue::Structural));
+    }
+    if issues.is_empty() {
+        Ok(())
+    } else {
+        Err(issues)
+    }
+}
 
 /// Validates a sample stream against the schema's structural rules.
 ///
@@ -210,6 +261,25 @@ mod tests {
         let raw: Vec<Sample> = r.samples().copied().collect();
         let err = validate(&raw, 1).unwrap_err();
         assert!(err[0].contains("out of order"));
+    }
+
+    #[test]
+    fn validate_recorded_flags_drops_first() {
+        let mut r = RingRecorder::with_capacity(2);
+        for i in 0..5u64 {
+            r.record(SimTime::from_millis(i as f64), submit(i));
+        }
+        let issues = validate_recorded(&r, 1).unwrap_err();
+        assert_eq!(issues[0], Issue::DroppedEvents { dropped: 3 });
+        assert!(issues[0].to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn validate_recorded_clean_on_intact_stream() {
+        let mut r = RingRecorder::new();
+        r.record(SimTime::ZERO, submit(0));
+        r.record(SimTime::from_millis(1.0), TraceEvent::Complete { req: 0 });
+        assert!(validate_recorded(&r, 1).is_ok());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Validate every BENCH_*.json against the shared schema and print one
+# trajectory table concatenating their results.
+#
+# Shared schema (enforced here, documented in DESIGN.md):
+#   {
+#     "bench":      string   — what ran, including the cargo command
+#     "date":       string   — YYYY-MM-DD the numbers were recorded
+#     "host_cores": number   — cores on the recording host
+#     "results":    array    — entries: {"label": string, ...numbers}
+#     "note":       string   — method, caveats, gate verdicts
+#   }
+# No other top-level keys are allowed; extra per-entry keys are fine
+# (min_ns, median_ns, speedup_vs_serial, overhead_vs_untraced_min, ...).
+#
+# Usage: scripts/bench_summary.sh [file...]   (defaults to BENCH_*.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(BENCH_*.json)
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_summary: $f: no such file" >&2
+    fail=1
+    continue
+  fi
+  err=$(jq -r '
+    def req($k; $t): if (has($k) and (.[$k] | type) == $t) then empty
+                     else "missing or mistyped key \"\($k)\" (want \($t))" end;
+    [ req("bench"; "string"),
+      req("date"; "string"),
+      req("host_cores"; "number"),
+      req("results"; "array"),
+      req("note"; "string"),
+      (keys - ["bench", "date", "host_cores", "results", "note"]
+        | if length > 0 then "unexpected top-level key(s): \(join(", "))" else empty end),
+      (.results // [] | to_entries[]
+        | select((.value | type) != "object" or (.value.label | type?) != "string")
+        | "results[\(.key)] must be an object with a string \"label\"")
+    ] | join("; ")' "$f" 2>&1) || { echo "bench_summary: $f: not valid JSON: $err" >&2; fail=1; continue; }
+  if [ -n "$err" ]; then
+    echo "bench_summary: $f: $err" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+{
+  echo -e "file\tdate\tcores\tlabel\tmin_ns\tmedian_ns\textra"
+  for f in "${files[@]}"; do
+    jq -r --arg f "$f" '
+      . as $doc | .results[]
+      | [$f, $doc.date, ($doc.host_cores | tostring), .label,
+         ((.min_ns // "-") | tostring), ((.median_ns // "-") | tostring),
+         (to_entries
+           | map(select(.key | IN("label", "min_ns", "median_ns") | not)
+                 | "\(.key)=\(.value)")
+           | if length > 0 then join(" ") else "-" end)]
+      | @tsv' "$f"
+  done
+} | awk -F '\t' '
+  { for (i = 1; i <= NF; i++) { if (length($i) > w[i]) w[i] = length($i); c[NR, i] = $i } nf[NR] = NF }
+  END { for (r = 1; r <= NR; r++) { line = ""
+          for (i = 1; i <= nf[r]; i++) line = line sprintf("%-*s  ", w[i], c[r, i])
+          sub(/ +$/, "", line); print line } }'

@@ -6,8 +6,10 @@
 # a reduced-scale parallel-sweep determinism check (the `repro` report
 # must be byte-identical at --jobs 2 and --jobs 1), the telemetry
 # trace-export determinism check (every `--trace` file byte-identical
-# across runs and --jobs values), and then the test suite again with
-# ignored tests included.
+# across runs and --jobs values), the metrics-export and `repro report`
+# determinism checks (every `--metrics` file and the rendered
+# report.html byte-identical across runs and --jobs values), and then
+# the test suite again with ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -34,6 +36,21 @@ target/release/repro validate --requests 2000 --jobs 2 --trace "$sweep_dir/tr2" 
 for f in "$sweep_dir"/tr1/*; do
   cmp "$f" "$sweep_dir/tr2/$(basename "$f")"
 done
+
+echo "==> gate: metrics --metrics export byte-identical across runs and --jobs"
+target/release/repro sa_eval --requests 2000 --jobs 1 --metrics "$sweep_dir/m1" >/dev/null 2>&1
+target/release/repro sa_eval --requests 2000 --jobs 2 --metrics "$sweep_dir/m2" >/dev/null 2>&1
+for f in "$sweep_dir"/m1/*; do
+  cmp "$f" "$sweep_dir/m2/$(basename "$f")"
+done
+
+echo "==> gate: repro report renders byte-identically"
+target/release/repro report "$sweep_dir/m1" >/dev/null 2>&1
+target/release/repro report "$sweep_dir/m2" >/dev/null 2>&1
+cmp "$sweep_dir/m1/report.html" "$sweep_dir/m2/report.html"
+
+echo "==> gate: BENCH_*.json schema (scripts/bench_summary.sh)"
+scripts/bench_summary.sh >/dev/null
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

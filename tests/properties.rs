@@ -390,6 +390,92 @@ fn maid_energy_bounded_by_always_on_and_standby_floor() {
 }
 
 #[test]
+fn streamhist_percentile_within_documented_relative_error() {
+    check("streamhist_percentile_within_documented_relative_error", |t| {
+        use simkit::StreamingHistogram;
+        // Values inside [floor, cap], where the bound is guaranteed.
+        let values = t.draw(&gen::vec_of(gen::f64_in(0.001, 100_000.0), 1..=300));
+        let mut h = StreamingHistogram::new();
+        let mut exact = values.clone();
+        for v in &values {
+            h.record(*v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let bound = h.relative_error();
+        for p in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            // Nearest-rank, the same convention as stats::Summary.
+            let rank = ((p / 100.0 * exact.len() as f64).ceil() as usize).max(1);
+            let want = exact[rank - 1];
+            let got = h.percentile(p);
+            assert!(
+                (got - want).abs() <= bound * want + 1e-12,
+                "p{p}: streaming {got} vs exact {want} exceeds bound {bound}"
+            );
+        }
+    });
+}
+
+#[test]
+fn streamhist_merge_is_associative_and_commutative() {
+    check("streamhist_merge_is_associative_and_commutative", |t| {
+        use simkit::StreamingHistogram;
+        let xs = t.draw(&gen::vec_of(gen::f64_in(0.001, 100_000.0), 0..=100));
+        let ys = t.draw(&gen::vec_of(gen::f64_in(0.001, 100_000.0), 0..=100));
+        let zs = t.draw(&gen::vec_of(gen::f64_in(0.001, 100_000.0), 0..=100));
+        let hist = |vals: &[f64]| {
+            let mut h = StreamingHistogram::new();
+            for v in vals {
+                h.record(*v);
+            }
+            h
+        };
+        // Bucket counts add exactly, so any merge order must agree on
+        // counts, bounds, and every percentile. Compare via the Debug
+        // view of the nonzero buckets plus min/max: bucket bounds are
+        // pure functions of the bucket index.
+        let view = |h: &StreamingHistogram| {
+            format!(
+                "{:?} n={} min={} max={} p50={} p99={}",
+                h.nonzero_buckets(),
+                h.count(),
+                h.min(),
+                h.max(),
+                h.percentile(50.0),
+                h.percentile(99.0)
+            )
+        };
+        let mut left = hist(&xs);
+        left.merge(&hist(&ys));
+        left.merge(&hist(&zs));
+        let mut yz = hist(&ys);
+        yz.merge(&hist(&zs));
+        let mut right = hist(&xs);
+        right.merge(&yz);
+        assert_eq!(view(&left), view(&right), "merge is not associative");
+        let mut flipped = hist(&ys);
+        flipped.merge(&hist(&xs));
+        flipped.merge(&hist(&zs));
+        assert_eq!(view(&left), view(&flipped), "merge is not commutative");
+    });
+}
+
+#[test]
+fn streamhist_deterministic_for_identical_input() {
+    check("streamhist_deterministic_for_identical_input", |t| {
+        use simkit::StreamingHistogram;
+        let values = t.draw(&gen::vec_of(gen::f64_in(0.001, 100_000.0), 0..=200));
+        let run = || {
+            let mut h = StreamingHistogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            format!("{h:?}")
+        };
+        assert_eq!(run(), run(), "identical input produced different state");
+    });
+}
+
+#[test]
 fn dash_labels_roundtrip() {
     check_with(heavy(), "dash_labels_roundtrip", |t| {
         use intradisk::DashConfig;
