@@ -10,14 +10,16 @@
 //! and returns any follow-on events plus any logical requests that
 //! finished.
 
-// BTreeMap, not HashMap: in-flight bookkeeping is part of the
-// simulator's determinism contract (DESIGN.md) — iteration and drain
-// order must not depend on a randomized hasher.
-use std::collections::BTreeMap;
+// In-flight bookkeeping lives in a generation-tagged slab plus a
+// sequential ring window, not maps: slot assignment depends only on
+// the submit/complete sequence (the simulator's determinism contract,
+// DESIGN.md), and the steady-state dispatch path performs no
+// allocation once the structures reach their high-water marks.
+use std::collections::VecDeque;
 
 use diskmodel::{DiskParams, DriveError};
 use intradisk::{DiskDrive, DriveConfig, IoRequest, PowerBreakdown};
-use simkit::{Histogram, SimTime, Summary};
+use simkit::{Histogram, SimTime, Slab, SlotId, Summary};
 use telemetry::{NullRecorder, Recorder, ScopedRecorder, TraceEvent};
 
 use crate::layout::{Layout, SubRequest};
@@ -94,16 +96,56 @@ struct Outstanding {
     phase_two: Vec<SubRequest>,
 }
 
+/// Maps sub-request ids back to the owning logical request's slab slot.
+///
+/// Sub ids are issued sequentially and retire within the lifetime of
+/// their logical request, so the live ids always fall inside a small
+/// sliding window: a ring buffer indexed by `sub_id - base` replaces a
+/// `BTreeMap`, making the lookup O(1) and, at steady state,
+/// allocation-free (the deque's capacity plateaus at the concurrency
+/// high-water mark).
+#[derive(Debug, Default)]
+struct SubOwnerWindow {
+    /// Sub id of `ring[0]`.
+    base: u64,
+    ring: VecDeque<Option<SlotId>>,
+}
+
+impl SubOwnerWindow {
+    fn insert(&mut self, sub_id: u64, owner: SlotId) {
+        if self.ring.is_empty() {
+            self.base = sub_id;
+        }
+        debug_assert_eq!(
+            sub_id,
+            self.base + self.ring.len() as u64,
+            "sub ids must be issued sequentially"
+        );
+        self.ring.push_back(Some(owner));
+    }
+
+    fn take(&mut self, sub_id: u64) -> Option<SlotId> {
+        let off = sub_id.checked_sub(self.base)?;
+        let owner = self.ring.get_mut(off as usize)?.take();
+        // Shrink the window from the front so `base` tracks the oldest
+        // live sub id and the ring stays as small as the in-flight set.
+        while matches!(self.ring.front(), Some(None)) {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+        owner
+    }
+}
+
 /// A storage array of identical member disks behind one controller.
 #[derive(Debug)]
 pub struct ArrayController {
     disks: Vec<DiskDrive>,
     layout: Layout,
     per_disk: u64,
-    sub_owner: BTreeMap<u64, u64>,
-    outstanding: BTreeMap<u64, Outstanding>,
+    sub_owner: SubOwnerWindow,
+    outstanding: Slab<Outstanding>,
     next_sub_id: u64,
-    next_key: u64,
     metrics: ArrayMetrics,
 }
 
@@ -131,10 +173,9 @@ impl ArrayController {
             disks: members,
             layout,
             per_disk,
-            sub_owner: BTreeMap::new(),
-            outstanding: BTreeMap::new(),
+            sub_owner: SubOwnerWindow::default(),
+            outstanding: Slab::new(),
             next_sub_id: 0,
-            next_key: 0,
             metrics: ArrayMetrics::new(),
         }
     }
@@ -207,23 +248,18 @@ impl ArrayController {
                 },
             );
         }
-        let key = self.next_key;
-        self.next_key += 1;
-        self.outstanding.insert(
-            key,
-            Outstanding {
-                id: req.id,
-                arrival: req.arrival,
-                remaining: mapped.phase_one.len(),
-                phase_two: mapped.phase_two,
-            },
-        );
+        let key = self.outstanding.insert(Outstanding {
+            id: req.id,
+            arrival: req.arrival,
+            remaining: mapped.phase_one.len(),
+            phase_two: mapped.phase_two,
+        });
         self.issue(key, &mapped.phase_one, now, rec)
     }
 
     fn issue<R: Recorder>(
         &mut self,
-        key: u64,
+        key: SlotId,
         subs: &[SubRequest],
         now: SimTime,
         rec: &mut R,
@@ -275,7 +311,7 @@ impl ArrayController {
         };
         let key = self
             .sub_owner
-            .remove(&done.request.id)
+            .take(done.request.id)
             .ok_or(DriveError::UnknownSubRequest {
                 sub_id: done.request.id,
             })?;
@@ -286,8 +322,8 @@ impl ArrayController {
         let finished_logical = {
             let o = self
                 .outstanding
-                .get_mut(&key)
-                .ok_or(DriveError::RetiredRequest { key })?;
+                .get_mut(key)
+                .ok_or(DriveError::RetiredRequest { key: key.as_u64() })?;
             o.remaining -= 1;
             if o.remaining > 0 {
                 None
@@ -302,7 +338,7 @@ impl ArrayController {
             }
         };
         if let Some(key) = finished_logical {
-            if let Some(o) = self.outstanding.remove(&key) {
+            if let Some(o) = self.outstanding.remove(key) {
                 let c = LogicalCompletion {
                     id: o.id,
                     arrival: o.arrival,

@@ -181,7 +181,7 @@ pub fn run_array_traced<R: Recorder>(
     rec: &mut R,
 ) -> Result<ArrayRunResult, DriveError> {
     let mut array = ArrayController::new(params, member, disks, layout);
-    let mut events: EventQueue<usize> = EventQueue::new();
+    let mut events: EventQueue<usize> = EventQueue::with_capacity(64);
     let mut end = SimTime::ZERO;
     let reqs = trace.requests();
     let mut i = 0;

@@ -18,7 +18,7 @@ use crate::cache::SegmentedCache;
 use crate::metrics::{close_idle_span, DriveMetrics, DriveMode, PowerBreakdown};
 use crate::request::{CompletedIo, IoKind, IoRequest, ServiceBreakdown};
 use crate::sched::{PendingQueue, QueuePolicy, DEFAULT_WINDOW};
-use crate::service::{ArmState, Mechanics};
+use crate::service::{ArmSet, Mechanics};
 
 pub use crate::service::{ArmPlacement, LatencyScaling};
 
@@ -128,7 +128,7 @@ pub struct DiskDrive {
     mech: Mechanics,
     power: PowerModel,
     cache: SegmentedCache,
-    arms: Vec<ArmState>,
+    arms: ArmSet,
     queue: PendingQueue,
     config: DriveConfig,
     in_service: Option<InService>,
@@ -142,7 +142,7 @@ impl DiskDrive {
     /// Creates a drive from a parameter set and configuration.
     pub fn new(params: &DiskParams, config: DriveConfig) -> Self {
         let mech = Mechanics::new(params);
-        let arms = mech.arms_with_placement(config.actuators, &config.placement);
+        let arms = ArmSet::from_arms(&mech.arms_with_placement(config.actuators, &config.placement));
         let capacity = mech.geometry().total_sectors();
         DiskDrive {
             name: params.name().to_string(),
@@ -197,19 +197,18 @@ impl DiskDrive {
     /// Returns `false` (and changes nothing) if the index is invalid or
     /// this is the last live assembly.
     pub fn deconfigure_actuator(&mut self, index: u32) -> bool {
-        let live = self.arms.iter().filter(|a| !a.failed).count();
-        match self.arms.get_mut(index as usize) {
-            Some(arm) if !arm.failed && live > 1 => {
-                arm.failed = true;
-                true
-            }
-            _ => false,
+        let idx = index as usize;
+        if idx < self.arms.len() && !self.arms.is_failed(idx) && self.arms.live_count() > 1 {
+            self.arms.set_failed(idx);
+            true
+        } else {
+            false
         }
     }
 
     /// Number of live (not deconfigured) assemblies.
     pub fn live_actuators(&self) -> u32 {
-        self.arms.iter().filter(|a| !a.failed).count() as u32
+        self.arms.live_count() as u32
     }
 
     /// Submits a request at time `now` (which must not precede the
@@ -324,8 +323,8 @@ impl DiskDrive {
             self.idle_since = now;
             if R::ENABLED {
                 rec.record(now, TraceEvent::PowerModeChange { mode: PowerMode::Idle });
-                for (i, arm) in self.arms.iter().enumerate() {
-                    if !arm.failed {
+                for i in 0..self.arms.len() {
+                    if !self.arms.is_failed(i) {
                         rec.record(now, TraceEvent::ActuatorIdle { actuator: i as u32 });
                     }
                 }
@@ -357,24 +356,37 @@ impl DiskDrive {
                 QueuePolicy::Fcfs => SimDuration::ZERO,
                 QueuePolicy::Sstf => {
                     let loc = mech.geometry().locate(lba);
-                    let dist = arms
-                        .iter()
-                        .filter(|a| !a.failed)
-                        .map(|a| a.cylinder.abs_diff(loc.cylinder))
-                        .min()
-                        .unwrap_or(0);
-                    mech.seek_profile().seek_time(dist)
+                    let mut dist: Option<u32> = None;
+                    for i in 0..arms.len() {
+                        if arms.is_failed(i) {
+                            continue;
+                        }
+                        let d = arms.cylinder(i).abs_diff(loc.cylinder);
+                        if dist.is_none_or(|best| d < best) {
+                            dist = Some(d);
+                        }
+                    }
+                    mech.seek_profile().seek_time(dist.unwrap_or(0))
                 }
                 QueuePolicy::Sptf => {
-                    arms.iter()
-                        .filter(|a| !a.failed)
-                        .map(|a| {
-                            let (s, r2) =
-                                mech.positioning_for_arm_heads(a, heads, lba, start, scaling);
-                            s + r2
-                        })
-                        .min()
-                        .unwrap_or(SimDuration::ZERO)
+                    let mut best: Option<SimDuration> = None;
+                    for i in 0..arms.len() {
+                        if arms.is_failed(i) {
+                            continue;
+                        }
+                        let (s, r2) = mech.positioning_at(
+                            arms.cylinder(i),
+                            arms.azimuth(i),
+                            heads,
+                            lba,
+                            start,
+                            scaling,
+                        );
+                        if best.is_none_or(|b| s + r2 < b) {
+                            best = Some(s + r2);
+                        }
+                    }
+                    best.unwrap_or(SimDuration::ZERO)
                 }
             }
         };
@@ -453,7 +465,7 @@ impl DiskDrive {
             self.cache.invalidate(req.lba, req.sectors);
         }
 
-        let plan = self.mech.plan_with_heads(
+        let plan = self.mech.plan_set_with_heads(
             &self.arms,
             self.config.heads_per_arm,
             req.lba,
@@ -466,7 +478,7 @@ impl DiskDrive {
         if R::ENABLED {
             // Capture the departure cylinder before the arm state is
             // advanced to the access's end cylinder below.
-            let from_cylinder = self.arms[plan.actuator as usize].cylinder;
+            let from_cylinder = self.arms.cylinder(plan.actuator as usize);
             let seek_start = now + overhead;
             let seek_end = seek_start + plan.seek;
             let xfer_start = seek_end + plan.rotational;
@@ -527,7 +539,7 @@ impl DiskDrive {
             );
         }
 
-        self.arms[plan.actuator as usize].cylinder = plan.end_cylinder;
+        self.arms.set_cylinder(plan.actuator as usize, plan.end_cylinder);
 
         self.metrics.modes.add(DriveMode::Idle.key(), overhead);
         self.metrics.modes.add(DriveMode::Seek.key(), plan.seek);

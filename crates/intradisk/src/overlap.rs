@@ -20,14 +20,14 @@
 //!   per-arm read/write channels).
 
 use diskmodel::{DiskParams, PowerModel};
-use simkit::{SimDuration, SimTime};
+use simkit::{EventQueue, SimDuration, SimTime};
 use telemetry::{NullRecorder, Recorder, TraceEvent};
 
 use crate::cache::SegmentedCache;
 use crate::metrics::{close_idle_span, DriveMetrics, DriveMode, PowerBreakdown};
 use crate::request::{CompletedIo, IoKind, IoRequest, ServiceBreakdown};
 use crate::sched::{PendingQueue, QueuePolicy, DEFAULT_WINDOW};
-use crate::service::{ArmPlacement, ArmState, Mechanics};
+use crate::service::{ArmPlacement, ArmSet, Mechanics};
 
 /// Resource constraints of an overlapped multi-actuator drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -90,7 +90,7 @@ pub struct OverlappedDrive {
     mech: Mechanics,
     power: PowerModel,
     cache: SegmentedCache,
-    arms: Vec<ArmState>,
+    arms: ArmSet,
     arm_busy_until: Vec<SimTime>,
     /// Next instant the (single) arm-motion resource is free.
     motion_free_at: SimTime,
@@ -109,7 +109,7 @@ impl OverlappedDrive {
     /// Creates an overlapped drive.
     pub fn new(params: &DiskParams, config: OverlapConfig) -> Self {
         let mech = Mechanics::new(params);
-        let arms = mech.arms_with_placement(config.actuators, &config.placement);
+        let arms = ArmSet::from_arms(&mech.arms_with_placement(config.actuators, &config.placement));
         let capacity = mech.geometry().total_sectors();
         OverlappedDrive {
             power: PowerModel::new(params),
@@ -234,8 +234,8 @@ impl OverlappedDrive {
         if self.in_flight.is_empty() {
             self.idle_since = now;
             if R::ENABLED {
-                for (a, arm) in self.arms.iter().enumerate() {
-                    if !arm.failed {
+                for a in 0..self.arms.len() {
+                    if !self.arms.is_failed(a) {
                         rec.record(now, TraceEvent::ActuatorIdle { actuator: a as u32 });
                     }
                 }
@@ -250,7 +250,7 @@ impl OverlappedDrive {
     /// rotationally is a net loss, so firmware would not do it); the
     /// relaxed modes use every arm.
     fn max_in_flight(&self) -> usize {
-        let live = self.arms.iter().filter(|a| !a.failed).count();
+        let live = self.arms.live_count();
         match self.config.mode {
             OverlapMode::SingleArmMotion => 1,
             // One shared channel: position one request ahead while the
@@ -272,12 +272,14 @@ impl OverlappedDrive {
             }
             // Find an idle, live arm.
             let idle_arm = (0..self.arms.len())
-                .find(|&a| !self.arms[a].failed && self.arm_busy_until[a] <= now);
+                .find(|&a| !self.arms.is_failed(a) && self.arm_busy_until[a] <= now);
             let Some(_) = idle_arm else { break };
             if self.queue.is_empty() {
                 break;
             }
-            // SPTF over the window, best over idle arms.
+            // SPTF over the window, best over idle arms. The candidate
+            // scan walks the struct-of-arrays columns directly; strict
+            // `<` keeps `Iterator::min`'s first-minimum tie-break.
             let mech = &self.mech;
             let arms = &self.arms;
             let busy = &self.arm_busy_until;
@@ -285,19 +287,24 @@ impl OverlappedDrive {
             let start_est = now + self.overhead_of();
             let cost = |r: &IoRequest| -> SimDuration {
                 let lba = r.lba % capacity;
-                (0..arms.len())
-                    .filter(|&a| !arms[a].failed && busy[a] <= now)
-                    .map(|a| {
-                        let (s, rot) = mech.positioning_for_arm(
-                            &arms[a],
-                            lba,
-                            start_est,
-                            crate::service::LatencyScaling::none(),
-                        );
-                        s + rot
-                    })
-                    .min()
-                    .unwrap_or(SimDuration::MAX)
+                let mut best: Option<SimDuration> = None;
+                for a in 0..arms.len() {
+                    if arms.is_failed(a) || busy[a] > now {
+                        continue;
+                    }
+                    let (s, rot) = mech.positioning_at(
+                        arms.cylinder(a),
+                        arms.azimuth(a),
+                        1,
+                        lba,
+                        start_est,
+                        crate::service::LatencyScaling::none(),
+                    );
+                    if best.is_none_or(|b| s + rot < b) {
+                        best = Some(s + rot);
+                    }
+                }
+                best.unwrap_or(SimDuration::MAX)
             };
             let Some(req) = self.queue.pop_next(QueuePolicy::Sptf, cost) else {
                 break;
@@ -371,7 +378,7 @@ impl OverlappedDrive {
         let angle = self.mech.geometry().sector_angle(loc);
         let mut best: Option<(usize, SimTime, SimDuration, SimDuration, SimTime)> = None;
         for a in 0..self.arms.len() {
-            if self.arms[a].failed || self.arm_busy_until[a] > now {
+            if self.arms.is_failed(a) || self.arm_busy_until[a] > now {
                 continue;
             }
             // Seek start waits for the motion resource in baseline mode.
@@ -379,7 +386,7 @@ impl OverlappedDrive {
                 OverlapMode::SingleArmMotion => (now + overhead).max(self.motion_free_at),
                 _ => now + overhead,
             };
-            let dist = self.arms[a].cylinder.abs_diff(loc.cylinder);
+            let dist = self.arms.cylinder(a).abs_diff(loc.cylinder);
             let seek = self.mech.seek_profile().seek_time(dist);
             let pos_done = seek_start + seek;
             // Transfer may additionally wait for the channel, then must
@@ -391,7 +398,7 @@ impl OverlappedDrive {
             let rot = self
                 .mech
                 .rotation()
-                .wait_until_under(angle, self.arms[a].azimuth, channel_gate);
+                .wait_until_under(angle, self.arms.azimuth(a), channel_gate);
             let transfer_start = channel_gate + rot;
             if best.map_or(true, |b| transfer_start < b.4) {
                 best = Some((a, seek_start, seek, rot, transfer_start));
@@ -406,7 +413,7 @@ impl OverlappedDrive {
         let finish = transfer_start + transfer;
 
         if R::ENABLED {
-            let from_cylinder = self.arms[arm].cylinder;
+            let from_cylinder = self.arms.cylinder(arm);
             rec.record(
                 now,
                 TraceEvent::Dispatched {
@@ -455,10 +462,11 @@ impl OverlappedDrive {
         }
 
         // Commit resources.
-        self.arms[arm].cylinder = {
+        let end_cylinder = {
             let segs = self.mech.geometry().segments(req.lba % self.capacity, req.sectors);
             segs.last().map(|s| s.start.cylinder).unwrap_or(loc.cylinder)
         };
+        self.arms.set_cylinder(arm, end_cylinder);
         self.arm_busy_until[arm] = finish;
         if self.config.mode == OverlapMode::SingleArmMotion {
             self.motion_free_at = seek_start + seek;
@@ -533,13 +541,12 @@ pub fn replay_traced<R: Recorder>(
     rec: &mut R,
 ) -> DriveMetrics {
     let mut drive = OverlappedDrive::new(params, config);
-    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
-        std::collections::BinaryHeap::new();
+    let mut events: EventQueue<()> = EventQueue::new();
     let mut i = 0;
     let mut end = SimTime::ZERO;
     loop {
         let arrival = requests.get(i).map(|r| r.arrival);
-        let next_event = events.peek().map(|std::cmp::Reverse(t)| *t);
+        let next_event = events.peek_time();
         let take_arrival = match (arrival, next_event) {
             (None, None) => break,
             (Some(a), Some(e)) => a <= e,
@@ -551,18 +558,18 @@ pub fn replay_traced<R: Recorder>(
             i += 1;
             end = end.max(r.arrival);
             for t in drive.submit_traced(r, r.arrival, rec) {
-                events.push(std::cmp::Reverse(t));
+                events.push(t, ());
             }
         } else {
             let Some(t) = next_event else { break };
             // Drain duplicates for the same instant.
-            while events.peek() == Some(&std::cmp::Reverse(t)) {
+            while events.peek_time() == Some(t) {
                 events.pop();
             }
             end = end.max(t);
             let (_, started) = drive.complete_traced(t, rec);
             for s in started {
-                events.push(std::cmp::Reverse(s));
+                events.push(s, ());
             }
         }
     }

@@ -119,6 +119,81 @@ pub struct ArmState {
     pub failed: bool,
 }
 
+/// Struct-of-arrays layout of every assembly's hot mechanical state.
+///
+/// The dispatch inner loop (SPTF cost scan, service planning) touches
+/// each live assembly's cylinder and azimuth once per pending request
+/// per decision; splitting the fields into parallel arrays keeps those
+/// scans on densely packed cache lines instead of striding over
+/// `ArmState` records. The scalar [`ArmState`] remains the exchange
+/// type for construction, calibration studies, and single-arm callers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmSet {
+    azimuth: Vec<f64>,
+    cylinder: Vec<u32>,
+    failed: Vec<bool>,
+}
+
+impl ArmSet {
+    /// Builds the set from per-assembly states.
+    pub fn from_arms(arms: &[ArmState]) -> Self {
+        ArmSet {
+            azimuth: arms.iter().map(|a| a.azimuth).collect(),
+            cylinder: arms.iter().map(|a| a.cylinder).collect(),
+            failed: arms.iter().map(|a| a.failed).collect(),
+        }
+    }
+
+    /// Number of assemblies (live or failed).
+    pub fn len(&self) -> usize {
+        self.cylinder.len()
+    }
+
+    /// True if the set has no assemblies.
+    pub fn is_empty(&self) -> bool {
+        self.cylinder.is_empty()
+    }
+
+    /// Number of assemblies still configured.
+    pub fn live_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| !f).count()
+    }
+
+    /// The assembly's fixed mounting azimuth.
+    pub fn azimuth(&self, idx: usize) -> f64 {
+        self.azimuth[idx]
+    }
+
+    /// Cylinder the assembly is parked over.
+    pub fn cylinder(&self, idx: usize) -> u32 {
+        self.cylinder[idx]
+    }
+
+    /// Re-parks the assembly (after a dispatch).
+    pub fn set_cylinder(&mut self, idx: usize, cylinder: u32) {
+        self.cylinder[idx] = cylinder;
+    }
+
+    /// True once the assembly has been deconfigured.
+    pub fn is_failed(&self, idx: usize) -> bool {
+        self.failed[idx]
+    }
+
+    /// Deconfigures the assembly (§8's graceful degradation).
+    pub fn set_failed(&mut self, idx: usize) {
+        self.failed[idx] = true;
+    }
+
+    /// The assembly's state as a scalar record (telemetry, tests).
+    pub fn arm(&self, idx: usize) -> ArmState {
+        ArmState {
+            azimuth: self.azimuth[idx],
+            cylinder: self.cylinder[idx],
+            failed: self.failed[idx],
+        }
+    }
+}
+
 /// The bundle of mechanical models for one drive.
 #[derive(Debug, Clone)]
 pub struct Mechanics {
@@ -217,16 +292,34 @@ impl Mechanics {
         start: SimTime,
         scaling: LatencyScaling,
     ) -> (SimDuration, SimDuration) {
+        self.positioning_at(arm.cylinder, arm.azimuth, heads, lba, start, scaling)
+    }
+
+    /// The scalar positioning core shared by the record-based and
+    /// struct-of-arrays call paths: identical arithmetic in identical
+    /// order, so both paths are bit-reproducible against each other.
+    ///
+    /// # Panics
+    /// Panics if `heads == 0`.
+    pub fn positioning_at(
+        &self,
+        cylinder: u32,
+        azimuth: f64,
+        heads: u32,
+        lba: u64,
+        start: SimTime,
+        scaling: LatencyScaling,
+    ) -> (SimDuration, SimDuration) {
         assert!(heads > 0, "need at least one head per arm");
         let loc = self.geometry.locate(lba);
-        let dist = arm.cylinder.abs_diff(loc.cylinder);
+        let dist = cylinder.abs_diff(loc.cylinder);
         let seek = self.seek.seek_time(dist).scale(scaling.seek);
         let angle = self.geometry.sector_angle(loc);
         let rot = (0..heads)
             .map(|h| {
-                let azimuth =
-                    (arm.azimuth + h as f64 * HEAD_ANGULAR_SEPARATION).rem_euclid(1.0);
-                self.rotation.wait_until_under(angle, azimuth, start + seek)
+                let head_azimuth =
+                    (azimuth + h as f64 * HEAD_ANGULAR_SEPARATION).rem_euclid(1.0);
+                self.rotation.wait_until_under(angle, head_azimuth, start + seek)
             })
             .min()
             .unwrap_or(SimDuration::ZERO)
@@ -307,6 +400,58 @@ impl Mechanics {
             })
             .min_by_key(|&(_, s, r)| s + r)
             .ok_or(DriveError::NoLiveArm)?;
+        self.finish_plan(best_idx, seek, rot, lba, sectors)
+    }
+
+    /// [`plan_with_heads`](Self::plan_with_heads) over the
+    /// struct-of-arrays [`ArmSet`] — the hot path used by the drive
+    /// engines. Scans the packed cylinder/azimuth/failed arrays in
+    /// index order with a strict `<`, which picks the same
+    /// first-minimum assembly as the slice path's `min_by_key`.
+    ///
+    /// # Errors
+    /// Returns [`DriveError::NoLiveArm`] if every assembly has failed.
+    ///
+    /// # Panics
+    /// Panics if `heads == 0`.
+    pub fn plan_set_with_heads(
+        &self,
+        arms: &ArmSet,
+        heads: u32,
+        lba: u64,
+        sectors: u32,
+        start: SimTime,
+        scaling: LatencyScaling,
+    ) -> Result<ServicePlan, DriveError> {
+        let mut best: Option<(usize, SimDuration, SimDuration)> = None;
+        for i in 0..arms.len() {
+            if arms.is_failed(i) {
+                continue;
+            }
+            let (s, r) = self.positioning_at(
+                arms.cylinder(i),
+                arms.azimuth(i),
+                heads,
+                lba,
+                start,
+                scaling,
+            );
+            if best.is_none_or(|(_, bs, br)| s + r < bs + br) {
+                best = Some((i, s, r));
+            }
+        }
+        let (best_idx, seek, rot) = best.ok_or(DriveError::NoLiveArm)?;
+        self.finish_plan(best_idx, seek, rot, lba, sectors)
+    }
+
+    fn finish_plan(
+        &self,
+        best_idx: usize,
+        seek: SimDuration,
+        rot: SimDuration,
+        lba: u64,
+        sectors: u32,
+    ) -> Result<ServicePlan, DriveError> {
         let transfer = self.transfer_time(lba, sectors);
         let segs = self.geometry.segments(lba, sectors);
         let end_cylinder = segs

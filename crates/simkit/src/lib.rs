@@ -7,7 +7,13 @@
 //!   [`SimDuration`]) with millisecond conversion helpers (disk latencies
 //!   are conventionally reported in milliseconds).
 //! * [`event`] — a deterministic event calendar ([`EventQueue`]) with
-//!   stable FIFO ordering among simultaneous events.
+//!   stable FIFO ordering among simultaneous events. The production
+//!   queue is a hierarchical timing wheel ([`WheelEventQueue`]); the
+//!   original binary heap survives as [`HeapEventQueue`], the oracle
+//!   the differential test suite compares the wheel against.
+//! * [`pool`] — a generation-tagged slab allocator ([`pool::Slab`])
+//!   that keeps steady-state request dispatch allocation-free while
+//!   detecting use-after-recycle at the API level.
 //! * [`rng`] / [`dist`] — a seedable, forkable pseudo-random number
 //!   generator ([`Rng64`]) and the random variates the workload
 //!   generators need (exponential, Zipf, log-normal, ...). These are
@@ -31,12 +37,16 @@
 
 pub mod dist;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Bernoulli, Exponential, LogNormal, Pareto, Sample, UniformRange, Zipf};
-pub use event::{EventQueue, QueueStats, ScheduledEvent};
+pub use event::{
+    Calendar, EventQueue, HeapEventQueue, QueueStats, ScheduledEvent, WheelEventQueue,
+};
+pub use pool::{Slab, SlotId};
 pub use rng::Rng64;
 pub use stats::{Cdf, Histogram, ModeAccumulator, P2Quantile, Pdf, StreamingHistogram, Summary};
 pub use time::{SimDuration, SimTime};

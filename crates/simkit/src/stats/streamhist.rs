@@ -58,6 +58,13 @@ pub struct StreamingHistogram {
     max: f64,
     rel_err: f64,
     growth: f64,
+    /// First-edge index per f64 binary exponent: `exp_index[e]` is the
+    /// number of edges below the smallest value whose biased exponent
+    /// is `e` (entry 2048 = `edges.len()`, the bound for infinities).
+    /// Narrows [`record`](Self::record)'s search to one octave —
+    /// ~`ln 2 / ln(growth)` edges — instead of the whole edge array.
+    /// Derived from `edges`, so equal configurations compare equal.
+    exp_index: Vec<u32>,
 }
 
 impl StreamingHistogram {
@@ -99,6 +106,20 @@ impl StreamingHistogram {
             edges.push(edge);
         }
         let counts = vec![0; edges.len() + 1];
+        // exp_index[e] = edges.partition_point(< 2^(e-1023)); the bit
+        // pattern `e << 52` IS that power of two (0.0 for e = 0, +inf
+        // for e = 2047), so one table covers subnormals through inf.
+        let exp_index = (0..=2048u64)
+            .map(|e| {
+                let boundary = f64::from_bits(e.min(2047) << 52);
+                let idx = if e == 2048 {
+                    edges.len()
+                } else {
+                    edges.partition_point(|&x| x < boundary)
+                };
+                idx as u32
+            })
+            .collect();
         StreamingHistogram {
             edges,
             counts,
@@ -108,6 +129,7 @@ impl StreamingHistogram {
             max: f64::NEG_INFINITY,
             rel_err,
             growth,
+            exp_index,
         }
     }
 
@@ -141,7 +163,15 @@ impl StreamingHistogram {
     /// non-negative; a negative sample is an upstream unit bug).
     pub fn record(&mut self, value: f64) {
         assert!(value >= 0.0, "negative or NaN sample: {value}");
-        let idx = self.edges.partition_point(|&e| e < value);
+        // Two-level lookup with exact `partition_point` semantics: the
+        // exponent table brackets the answer inside one octave (for
+        // `value` in `[2^k, 2^(k+1))` every edge below `2^k` is below
+        // `value`, and none at or above `2^(k+1)` is), then a binary
+        // search over those few edges finishes the job.
+        let e = (value.to_bits() >> 52) as usize;
+        let lo = self.exp_index[e] as usize;
+        let hi = self.exp_index[e + 1] as usize;
+        let idx = lo + self.edges[lo..hi].partition_point(|&x| x < value);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value;
@@ -284,6 +314,27 @@ impl Default for StreamingHistogram {
 mod tests {
     use super::*;
     use crate::stats::Summary;
+
+    #[test]
+    fn exponent_index_matches_full_partition_point() {
+        // The two-level lookup must agree with a binary search over the
+        // whole edge array for every value, including bucket-edge hits,
+        // zero, sub-floor, and above-cap samples.
+        let mut h = StreamingHistogram::new();
+        let mut rng = crate::Rng64::new(7);
+        let mut probes = vec![0.0, 1e-9, DEFAULT_FLOOR, DEFAULT_CAP, 2.0 * DEFAULT_CAP];
+        probes.extend(h.edges.iter().step_by(97).copied());
+        for _ in 0..2_000 {
+            let mag = rng.f64() * 24.0 - 12.0;
+            probes.push(10f64.powf(mag));
+        }
+        for &v in &probes {
+            let expect = h.edges.partition_point(|&e| e < v);
+            let before: u64 = h.counts[expect];
+            h.record(v);
+            assert_eq!(h.counts[expect], before + 1, "wrong bucket for {v}");
+        }
+    }
 
     #[test]
     fn empty_is_zeroes() {

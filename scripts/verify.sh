@@ -9,7 +9,11 @@
 # across runs and --jobs values), the metrics-export and `repro report`
 # determinism checks (every `--metrics` file and the rendered
 # report.html byte-identical across runs and --jobs values), and then
-# the test suite again with ignored tests included.
+# the event-kernel swap gates (report and exports byte-identical to
+# the goldens pinned on the retired binary-heap kernel, the
+# differential property suite, and a throughput floor: the timing
+# wheel must not be slower than the heap), and then the test suite
+# again with ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -30,6 +34,9 @@ target/release/repro all --requests 2000 --jobs 1 > "$sweep_dir/serial.txt" 2>/d
 target/release/repro all --requests 2000 --jobs 2 > "$sweep_dir/jobs2.txt" 2>/dev/null
 cmp "$sweep_dir/serial.txt" "$sweep_dir/jobs2.txt"
 
+echo "==> gate: report byte-identical to pre-kernel-swap golden"
+cmp "$sweep_dir/serial.txt" tests/goldens/repro_all_r2000.txt
+
 echo "==> gate: telemetry --trace export byte-identical across runs and --jobs"
 target/release/repro validate --requests 2000 --jobs 1 --trace "$sweep_dir/tr1" >/dev/null 2>&1
 target/release/repro validate --requests 2000 --jobs 2 --trace "$sweep_dir/tr2" >/dev/null 2>&1
@@ -44,6 +51,12 @@ for f in "$sweep_dir"/m1/*; do
   cmp "$f" "$sweep_dir/m2/$(basename "$f")"
 done
 
+echo "==> gate: trace/metrics exports hash-identical to pre-kernel-swap goldens"
+mkdir "$sweep_dir/gold"
+ln -s "$sweep_dir/tr1" "$sweep_dir/gold/trace"
+ln -s "$sweep_dir/m1" "$sweep_dir/gold/metrics"
+(cd "$sweep_dir/gold" && sha256sum --quiet -c "$OLDPWD/tests/goldens/kernel_swap_exports.sha256")
+
 echo "==> gate: repro report renders byte-identically"
 target/release/repro report "$sweep_dir/m1" >/dev/null 2>&1
 target/release/repro report "$sweep_dir/m2" >/dev/null 2>&1
@@ -51,6 +64,17 @@ cmp "$sweep_dir/m1/report.html" "$sweep_dir/m2/report.html"
 
 echo "==> gate: BENCH_*.json schema (scripts/bench_summary.sh)"
 scripts/bench_summary.sh >/dev/null
+
+echo "==> gate: event-kernel differential property suite"
+cargo test -q --test properties
+
+echo "==> gate: kernel throughput floor (wheel >= heap)"
+kernel_json=$(cargo bench -p bench --bench kernel -- --quick 2>/dev/null)
+heap_min=$(printf '%s\n' "$kernel_json" | jq -s '.[] | select(.bench == "kernel_sa4_100k_heap") | .min_ns')
+wheel_min=$(printf '%s\n' "$kernel_json" | jq -s '.[] | select(.bench == "kernel_sa4_100k_wheel") | .min_ns')
+echo "    heap min ${heap_min} ns, wheel min ${wheel_min} ns"
+jq -n --argjson h "$heap_min" --argjson w "$wheel_min" \
+  'if $w <= $h then empty else error("timing wheel slower than retired heap") end'
 
 echo "==> tier-1: cargo test -q"
 cargo test -q

@@ -370,3 +370,234 @@ fn oracle_rotation_model_scales_with_rpm_and_track_density() {
     testkit::golden::assert_monotone_nonincreasing("transfer time vs track density", &transfer, 0.0);
     assert!(transfer[2] < transfer[0], "denser tracks must transfer faster");
 }
+
+// ------------------------------------------- event-kernel equivalence
+
+/// Replays `trace` against a 4-disk RAID-5 array, driving the event
+/// loop through an explicit [`Calendar`] implementation, and returns
+/// the complete pop sequence plus the rendered metrics.
+///
+/// This mirrors `experiments::run_array`'s loop exactly, but keeps the
+/// calendar generic so the timing wheel and the retired binary heap can
+/// replay the *same* science workload and be compared pop-for-pop —
+/// the library-level face of the kernel-swap contract (the CLI-level
+/// face is the `golden_kernel_swap_*` tests below).
+fn array_replay_pops<Q: simkit::Calendar<usize>>(mut events: Q, trace: &Trace) -> String {
+    use std::fmt::Write;
+    let params = presets::barracuda_es_750gb();
+    let mut controller = array::ArrayController::new(
+        &params,
+        DriveConfig::sa(2),
+        4,
+        array::Layout::raid5_default(),
+    );
+    let mut out = String::new();
+    let reqs = trace.requests();
+    let mut i = 0;
+    loop {
+        let arrival = reqs.get(i).map(|r| r.arrival);
+        let take_arrival = match (arrival, events.peek_time()) {
+            (None, None) => break,
+            (Some(a), Some(e)) => a <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if take_arrival {
+            let r = reqs[i];
+            i += 1;
+            for (disk, t) in controller.submit(r, r.arrival).expect("submit at arrival") {
+                events.push(t, disk);
+            }
+        } else {
+            let ev = events.pop().expect("event pending");
+            writeln!(out, "pop {:?} disk {}", ev.time, ev.payload).expect("write to string");
+            let done = controller
+                .on_disk_complete(ev.payload, ev.time)
+                .expect("complete at promised time");
+            if let Some(t) = done.next_on_disk {
+                events.push(t, ev.payload);
+            }
+            for (disk, t) in done.started {
+                events.push(t, disk);
+            }
+        }
+    }
+    let m = controller.metrics();
+    writeln!(
+        out,
+        "metrics {:?} completed {} stats {:?}",
+        m.response_time_ms,
+        m.completed,
+        events.stats()
+    )
+    .expect("write to string");
+    out
+}
+
+#[test]
+fn oracle_wheel_replays_array_pop_for_pop_identically_to_heap() {
+    // The kernel-swap contract: swapping the calendar implementation is
+    // invisible to the science. Every pop (time *and* payload, i.e. the
+    // FIFO tie-break among same-time disk completions) and every final
+    // metric must match the retired heap exactly on a real RAID-5
+    // replay that exercises same-tick bursts (parity updates complete
+    // together) and long idle gaps.
+    let t = trace(4.0, 3_000, 17);
+    let heap = array_replay_pops(simkit::HeapEventQueue::new(), &t);
+    let wheel = array_replay_pops(simkit::WheelEventQueue::new(), &t);
+    assert_eq!(
+        heap.as_bytes(),
+        wheel.as_bytes(),
+        "wheel replay diverged from heap replay"
+    );
+    assert!(heap.lines().count() > 3_000, "replay actually popped events");
+}
+
+/// Minimal SHA-256 (FIPS 180-4), here so the export-hash golden needs
+/// no dependency and no external `sha256sum` binary.
+mod sha256 {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    pub fn hex(data: &[u8]) -> String {
+        let mut h: [u32; 8] = [
+            0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+            0x5be0cd19,
+        ];
+        let mut msg = data.to_vec();
+        msg.push(0x80);
+        while msg.len() % 64 != 56 {
+            msg.push(0);
+        }
+        msg.extend_from_slice(&((data.len() as u64) * 8).to_be_bytes());
+        for block in msg.chunks_exact(64) {
+            let mut w = [0u32; 64];
+            for (i, word) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = hh
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                hh = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+                *slot = slot.wrapping_add(v);
+            }
+        }
+        h.iter().map(|v| format!("{v:08x}")).collect()
+    }
+
+    #[test]
+    fn matches_known_vectors() {
+        assert_eq!(
+            hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+}
+
+fn goldens_dir() -> std::path::PathBuf {
+    // Root tests are owned by the experiments crate, so the manifest
+    // dir is crates/experiments; the pinned goldens live at the root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+#[ignore = "runs the full repro CLI; exercised by scripts/verify.sh"]
+fn golden_kernel_swap_report_is_byte_identical() {
+    // `tests/goldens/repro_all_r2000.txt` was pinned on the retired
+    // binary-heap kernel; the timing-wheel kernel must reproduce the
+    // whole report byte-for-byte.
+    let golden = std::fs::read(goldens_dir().join("repro_all_r2000.txt")).expect("golden pinned");
+    let out = repro(&["all", "--requests", "2000", "--jobs", "1"]);
+    assert!(
+        out.stdout == golden,
+        "repro all diverged from the pre-kernel-swap golden report \
+         (tests/goldens/repro_all_r2000.txt); the event kernel changed \
+         observable science"
+    );
+}
+
+#[test]
+#[ignore = "runs the full repro CLI; exercised by scripts/verify.sh"]
+fn golden_kernel_swap_exports_are_byte_identical() {
+    // The 22 trace/metrics export files pinned (as SHA-256) on the old
+    // kernel must hash identically when regenerated on the new one.
+    let manifest =
+        std::fs::read_to_string(goldens_dir().join("kernel_swap_exports.sha256"))
+            .expect("golden pinned");
+    let dir = std::env::temp_dir().join(format!("kernel-swap-exports-{}", std::process::id()));
+    let trace_dir = dir.join("trace");
+    let metrics_dir = dir.join("metrics");
+    std::fs::create_dir_all(&trace_dir).expect("temp trace dir");
+    std::fs::create_dir_all(&metrics_dir).expect("temp metrics dir");
+    repro(&[
+        "validate", "--requests", "2000", "--jobs", "1",
+        "--trace", trace_dir.to_str().expect("utf-8 path"),
+    ]);
+    repro(&[
+        "sa_eval", "--requests", "2000", "--jobs", "1",
+        "--metrics", metrics_dir.to_str().expect("utf-8 path"),
+    ]);
+    let mut checked = 0;
+    for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
+        let (want, path) = line.split_once("  ").expect("sha256sum manifest line");
+        let bytes = std::fs::read(dir.join(path)).expect("export regenerated");
+        let got = sha256::hex(&bytes);
+        assert_eq!(got, want, "export {path} diverged from the pre-kernel-swap hash");
+        checked += 1;
+    }
+    assert_eq!(checked, 22, "manifest covers all pinned exports");
+    std::fs::remove_dir_all(&dir).expect("temp dir cleanup");
+}

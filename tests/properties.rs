@@ -490,3 +490,147 @@ fn dash_labels_roundtrip() {
         assert_eq!(parsed.max_transfer_paths(), d * a * s * h);
     });
 }
+
+// ------------------------------------------------------------------
+// Event-kernel differential properties: the timing wheel must be
+// observationally identical to the heap oracle, and the slab pool must
+// never alias recycled slots.
+// ------------------------------------------------------------------
+
+/// Drives a [`WheelEventQueue`] and a [`HeapEventQueue`] through one
+/// adversarial schedule — same-tick bursts, intra-granule jitter,
+/// wheel-block boundary deltas, far-future overflow jumps, interleaved
+/// pops — asserting byte-identical observable behavior at every step.
+#[test]
+fn wheel_pops_byte_identically_to_heap() {
+    use simkit::{Calendar, HeapEventQueue, SimDuration, WheelEventQueue};
+    check("wheel_pops_byte_identically_to_heap", |t| {
+        let salt = t.draw(&gen::u64_any());
+        let steps = t.draw(&gen::usize_in(40..=250));
+        let mut rng = Rng64::new(salt);
+        let mut wheel: WheelEventQueue<u64> = WheelEventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut tag = 0u64;
+        let mut push_both = |w: &mut WheelEventQueue<u64>,
+                             h: &mut HeapEventQueue<u64>,
+                             t: simkit::SimTime,
+                             tag: &mut u64| {
+            w.push(t, *tag);
+            h.push(t, *tag);
+            *tag += 1;
+        };
+        for _ in 0..steps {
+            let now = wheel.now();
+            assert_eq!(now, heap.now(), "clocks diverged");
+            match rng.below(12) {
+                // Same-tick burst: FIFO tie-break under pressure.
+                0..=2 => {
+                    let at = now + SimDuration::from_nanos(rng.below(1 << 22));
+                    for _ in 0..=rng.below(5) {
+                        push_both(&mut wheel, &mut heap, at, &mut tag);
+                    }
+                }
+                // Intra-granule jitter around the cursor.
+                3..=4 => {
+                    let at = now + SimDuration::from_nanos(rng.below(1 << 20));
+                    push_both(&mut wheel, &mut heap, at, &mut tag);
+                }
+                // Granule / level-block boundaries (±1 ns around
+                // multiples of the granule, the level-0 span, and the
+                // level-1 span).
+                5..=6 => {
+                    let unit = [1u64 << 20, 1 << 29, 1 << 38][rng.below(3) as usize];
+                    let mult = 1 + rng.below(3);
+                    let base = unit * mult + (1 << 19);
+                    let wobble = rng.below(3) as i64 - 1;
+                    let at = now + SimDuration::from_nanos(base.saturating_add_signed(wobble));
+                    push_both(&mut wheel, &mut heap, at, &mut tag);
+                }
+                // Far-future events: level 2 and the overflow calendar
+                // (the level-2 block spans ~2^47 ns ≈ 39 h).
+                7..=8 => {
+                    let exp = 40 + rng.below(12) as u32;
+                    let at = now + SimDuration::from_nanos(1u64 << exp) 
+                        + SimDuration::from_nanos(rng.below(1 << 21));
+                    push_both(&mut wheel, &mut heap, at, &mut tag);
+                }
+                // Interleaved pops (plus a peek cross-check).
+                _ => {
+                    for _ in 0..=rng.below(6) {
+                        assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged");
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        assert_eq!(a, b, "pop diverged after {} pushes", tag);
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), heap.len(), "len diverged");
+        }
+        // Drain to the end: the full tail must agree too.
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time(), "tail peek diverged");
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "tail pop diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.stats(), heap.stats(), "stats diverged");
+    });
+}
+
+/// Model-based slab check: a `BTreeMap` keyed by the packed id is the
+/// reference. No stale id may ever observe a recycled slot's new
+/// tenant, live ids survive arbitrary churn around them, and double
+/// removes are no-ops.
+#[test]
+fn slab_never_aliases_recycled_slots() {
+    use simkit::{Slab, SlotId};
+    use std::collections::BTreeMap;
+    check("slab_never_aliases_recycled_slots", |t| {
+        let salt = t.draw(&gen::u64_any());
+        let ops = t.draw(&gen::usize_in(50..=400));
+        let mut rng = Rng64::new(salt);
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut live: Vec<SlotId> = Vec::new();
+        let mut dead: Vec<SlotId> = Vec::new();
+        let mut next_value = 0u64;
+        for _ in 0..ops {
+            match rng.below(10) {
+                // Insert.
+                0..=4 => {
+                    let id = slab.insert(next_value);
+                    assert!(
+                        model.insert(id.as_u64(), next_value).is_none(),
+                        "packed id reissued while its generation was live"
+                    );
+                    live.push(id);
+                    next_value += 1;
+                }
+                // Remove a live id; it must go stale immediately.
+                5..=7 if !live.is_empty() => {
+                    let id = live.swap_remove(rng.below(live.len() as u64) as usize);
+                    let expect = model.remove(&id.as_u64());
+                    assert_eq!(slab.remove(id), expect, "remove disagreed with model");
+                    assert_eq!(slab.get(id), None, "removed id still readable");
+                    dead.push(id);
+                }
+                // Stale ids stay dead forever (no reuse-before-free).
+                8 if !dead.is_empty() => {
+                    let id = dead[rng.below(dead.len() as u64) as usize];
+                    assert_eq!(slab.get(id), None, "stale id aliased a recycled slot");
+                    assert_eq!(slab.remove(id), None, "stale id removed a new tenant");
+                }
+                // Every live id reads back its own value (stable IDs).
+                _ => {
+                    for id in &live {
+                        assert_eq!(slab.get(*id), model.get(&id.as_u64()), "live id drifted");
+                    }
+                }
+            }
+            assert_eq!(slab.len(), model.len(), "occupancy drifted");
+        }
+    });
+}
