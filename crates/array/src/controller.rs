@@ -52,6 +52,9 @@ pub struct DiskCompletion {
     /// phase-two issues — `(disk index, completion time)`.
     pub started: Vec<(usize, SimTime)>,
     /// Logical requests that finished at this event.
+    // simlint: allow(unbounded-sim-state) — per-event return value,
+    // dropped by the caller after each completion; bounded by the
+    // requests in flight, not by run length.
     pub finished: Vec<LogicalCompletion>,
 }
 

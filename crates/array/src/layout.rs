@@ -49,6 +49,8 @@ pub struct SubRequest {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappedRequest {
     /// Sub-requests issuable immediately.
+    // simlint: allow(unbounded-sim-state) — per-request decomposition,
+    // bounded by the stripe width; consumed and dropped at issue time.
     pub phase_one: Vec<SubRequest>,
     /// Sub-requests gated on phase one (empty except for RAID-5
     /// writes).

@@ -97,12 +97,13 @@ impl SegmentedCache {
         self.tick += 1;
         let first = self.segment_of(lba);
         let last = self.segment_of(lba + sectors as u64 - 1);
+        // Two passes — probe, then (only on a full hit) bump recency —
+        // so the steady-state path never allocates a scratch list of
+        // touched segments.
         let mut seg = first;
-        let mut touched = Vec::new();
         let hit = loop {
-            match self.segments.iter().position(|s| s.start == seg) {
-                Some(i) => touched.push(i),
-                None => break false,
+            if !self.segments.iter().any(|s| s.start == seg) {
+                break false;
             }
             if seg == last {
                 break true;
@@ -110,8 +111,15 @@ impl SegmentedCache {
             seg += self.segment_sectors;
         };
         if hit {
-            for i in touched {
-                self.segments[i].last_use = self.tick;
+            let mut seg = first;
+            loop {
+                if let Some(s) = self.segments.iter_mut().find(|s| s.start == seg) {
+                    s.last_use = self.tick;
+                }
+                if seg == last {
+                    break;
+                }
+                seg += self.segment_sectors;
             }
             self.hits += 1;
         } else {

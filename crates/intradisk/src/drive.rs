@@ -334,6 +334,8 @@ impl DiskDrive {
     }
 
     /// Chooses and starts the next queued request, if any.
+    // simlint: hot — the per-event SPTF dispatch loop; runs once per
+    // completion for the whole simulated run.
     fn dispatch_next<R: Recorder>(
         &mut self,
         now: SimTime,

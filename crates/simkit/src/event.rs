@@ -432,6 +432,8 @@ impl<E> WheelEventQueue<E> {
     /// # Panics
     /// Panics if `time` is earlier than the last popped event — pushing
     /// into the past would silently corrupt causality.
+    // simlint: hot — kernel enqueue; every scheduled event goes
+    // through here on the steady-state path.
     pub fn push(&mut self, time: SimTime, payload: E) {
         assert!(
             time >= self.last_popped,
@@ -462,22 +464,31 @@ impl<E> WheelEventQueue<E> {
             self.current.insert(at, entry);
         } else if g < self.base[0] + L0_SPAN {
             let idx = (g - self.base[0]) as usize;
+            // simlint: allow(no-alloc-in-hot-path) — slot Vecs keep
+            // their capacity across wheel rotations, so pushes are
+            // amortized O(1) with no steady-state allocation.
             self.levels[0].slots[idx].push(entry);
             self.levels[0].set(idx);
         } else if g < self.base[1] + L1_SPAN {
             let idx = ((g - self.base[1]) >> SLOT_BITS) as usize;
+            // simlint: allow(no-alloc-in-hot-path) — amortized, as above.
             self.levels[1].slots[idx].push(entry);
             self.levels[1].set(idx);
         } else if g < self.base[2] + L2_SPAN {
             let idx = ((g - self.base[2]) >> (2 * SLOT_BITS)) as usize;
+            // simlint: allow(no-alloc-in-hot-path) — amortized, as above.
             self.levels[2].slots[idx].push(entry);
             self.levels[2].set(idx);
         } else {
+            // simlint: allow(no-alloc-in-hot-path) — overflow holds
+            // events beyond the 2^18-granule horizon; reaching it is
+            // rare by construction, not a per-event cost.
             self.overflow.entry(g).or_default().push(entry);
         }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    // simlint: hot — kernel dequeue; runs once per simulated event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         if self.len == 0 {
             return None;
@@ -597,6 +608,8 @@ impl<E> WheelEventQueue<E> {
         std::mem::swap(&mut batch, &mut self.levels[1].slots[j]);
         for e in batch.drain(..) {
             let idx = (e.granule() - self.base[0]) as usize;
+            // simlint: allow(no-alloc-in-hot-path) — redistribution
+            // into capacity-retaining slot Vecs; amortized O(1).
             self.levels[0].slots[idx].push(e);
             self.levels[0].set(idx);
         }
@@ -622,6 +635,8 @@ impl<E> WheelEventQueue<E> {
         std::mem::swap(&mut batch, &mut self.levels[2].slots[k]);
         for e in batch.drain(..) {
             let idx = ((e.granule() - self.base[1]) >> SLOT_BITS) as usize;
+            // simlint: allow(no-alloc-in-hot-path) — redistribution
+            // into capacity-retaining slot Vecs; amortized O(1).
             self.levels[1].slots[idx].push(e);
             self.levels[1].set(idx);
         }

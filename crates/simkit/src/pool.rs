@@ -130,6 +130,8 @@ impl<T> Slab<T> {
     /// Stores `value`, reusing the most recently freed slot if one
     /// exists (LIFO keeps the hot slot cache-resident), growing the
     /// slab otherwise.
+    // simlint: hot — request-lifetime allocation point; one call per
+    // submitted request.
     pub fn insert(&mut self, value: T) -> SlotId {
         self.len += 1;
         if self.free_head != FREE_END {
@@ -148,7 +150,11 @@ impl<T> Slab<T> {
             }
         } else {
             let index = self.slots.len() as u32;
+            // simlint: allow(no-alloc-in-hot-path) — pool growth: runs
+            // only while the in-flight population exceeds every prior
+            // peak; steady state recycles through the free list above.
             self.slots.push(Slot::Full(value));
+            // simlint: allow(no-alloc-in-hot-path) — grows with slots.
             self.generations.push(0);
             SlotId {
                 index,
@@ -178,6 +184,7 @@ impl<T> Slab<T> {
     /// Removes and returns the value behind `id`, bumping the slot's
     /// generation so `id` (and any copy of it) goes stale. Returns
     /// `None` if the id is already stale.
+    // simlint: hot — request-lifetime release point.
     pub fn remove(&mut self, id: SlotId) -> Option<T> {
         let idx = id.index as usize;
         match self.slots.get(idx) {

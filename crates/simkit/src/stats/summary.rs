@@ -14,6 +14,9 @@
 /// Collects `f64` samples and reports mean/min/max/percentiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
+    // simlint: allow(unbounded-sim-state) — deliberately O(samples):
+    // exact percentiles (Figure 8 gates on p90) require keeping every
+    // sample; the streaming alternative is stats::StreamingHistogram.
     samples: Vec<f64>,
     sum: f64,
     sorted: bool,

@@ -18,6 +18,9 @@ use crate::time::{SimDuration, SimTime};
 /// `intradisk::power::DriveMode`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ModeAccumulator {
+    // simlint: allow(unbounded-sim-state) — keyed by mode id; the key
+    // space is the (small, fixed) set of drive power modes, not run
+    // length.
     time_in_mode: BTreeMap<u8, SimDuration>,
     total: SimDuration,
 }

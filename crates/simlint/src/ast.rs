@@ -1,0 +1,79 @@
+//! The item outline: what the recursive-descent pass in [`crate::parse`]
+//! extracts from a token stream.
+//!
+//! This is deliberately not a full AST. The crate-scope rules need four
+//! things: which functions exist (with their body spans, so intra-body
+//! walks know where to look), which of them carry the `// simlint: hot`
+//! annotation, which struct fields exist (with their type text, so
+//! collection-typed sim state can be found), and whether any of those
+//! live in test-only code. Everything else — expressions, generics,
+//! trait bounds — stays a flat token slice that [`crate::flow`] walks
+//! on demand.
+
+/// One function (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// The `impl`/`trait` type the fn is defined on, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token-index span of the body block, `{` to `}` inclusive.
+    /// `None` for bodyless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// True if a `// simlint: hot` marker comment precedes the item.
+    pub hot: bool,
+    /// True if the fn is test-only: `#[test]`/`#[cfg(test)]` on the fn
+    /// itself or any enclosing mod/impl, or an enclosing `mod tests`.
+    pub in_test: bool,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// 1-based column of the field name.
+    pub col: u32,
+    /// The field's type as space-joined token text
+    /// (`"BTreeMap < u64 , Vec < Entry > >"`).
+    pub ty: String,
+}
+
+/// One struct with named fields (tuple and unit structs carry none).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// True if the struct is defined in test-only code.
+    pub in_test: bool,
+    /// Named fields in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
+/// Flattened outline of one file: every fn and struct, with mod/impl
+/// nesting already resolved into `owner`/`in_test` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Outline {
+    /// Every function found, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every struct found, in source order.
+    pub structs: Vec<StructItem>,
+}
+
+impl Outline {
+    /// Word-boundary containment test on the space-joined type text:
+    /// `ty_mentions("Vec < u64 >", "Vec")` is true, but a `Vector`
+    /// segment never matches `Vec`.
+    pub fn ty_mentions(ty: &str, word: &str) -> bool {
+        ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|seg| seg == word)
+    }
+}

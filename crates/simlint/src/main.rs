@@ -1,15 +1,18 @@
 //! CLI entry point: `cargo run --release -p simlint -- [FLAGS]`.
 //!
-//! Exit status: `0` when no denied finding survives the allowlist,
-//! `1` when denied findings exist, `2` on usage or I/O errors. Without
-//! `--deny-all`/`--deny`, findings are advisory (reported, exit 0), so
-//! the tool can be run loosely during development while
-//! `scripts/verify.sh` gates on `--deny-all`.
+//! Exit status: `0` when no denied finding survives the allowlist and
+//! baseline, `1` when denied findings (or stale baseline entries)
+//! exist, `2` on usage or I/O errors. Without `--deny-all`/`--deny`,
+//! findings are advisory (reported, exit 0), so the tool can be run
+//! loosely during development while `scripts/verify.sh` gates on
+//! `--deny-all --baseline simlint.baseline.json`.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use simlint::baseline::Baseline;
+use simlint::json::render_report;
 use simlint::rules::RULES;
 use simlint::{all_rules, lint_workspace, rule_info};
 
@@ -20,11 +23,15 @@ USAGE:
     simlint [OPTIONS] [ROOT]
 
 OPTIONS:
-    --deny-all        exit non-zero if any enabled rule fires
-    --deny <RULE>     exit non-zero if <RULE> fires (repeatable)
-    --allow <RULE>    disable <RULE> entirely (repeatable)
-    --list-rules      print the rule set and exit
-    -h, --help        print this help
+    --deny-all              exit non-zero if any enabled rule fires
+    --deny <RULE>           exit non-zero if <RULE> fires (repeatable)
+    --allow <RULE>          disable <RULE> entirely (repeatable)
+    --format <text|json>    output format (default text; json is byte-stable)
+    --baseline <PATH>       accepted-findings file: covered findings are not
+                            denied; new findings and stale entries fail
+    --write-baseline <PATH> record the current findings as the baseline
+    --list-rules            print the rule set and exit
+    -h, --help              print this help
 
 ROOT defaults to the workspace root (located by walking up from the
 current directory to the first Cargo.toml containing [workspace]).
@@ -36,6 +43,9 @@ fn main() -> ExitCode {
     let mut denied: BTreeSet<String> = BTreeSet::new();
     let mut deny_all = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -54,6 +64,29 @@ fn main() -> ExitCode {
                     denied.insert(rule.clone());
                 } else {
                     enabled.remove(rule);
+                }
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        eprintln!(
+                            "simlint: --format expects `text` or `json`, got {other:?}\n\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--baseline" | "--write-baseline" => {
+                let Some(path) = it.next() else {
+                    eprintln!("simlint: {arg} requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if arg == "--baseline" {
+                    baseline_path = Some(PathBuf::from(path));
+                } else {
+                    write_baseline = Some(PathBuf::from(path));
                 }
             }
             "--list-rules" => {
@@ -90,33 +123,104 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = write_baseline {
+        let b = Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(&path, b.render()) {
+            eprintln!("simlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "simlint: wrote baseline with {} accepted finding(s) to {}",
+            b.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Baseline drift: findings covered by the baseline are accepted
+    // debt; surplus findings are new; entries with no matching finding
+    // are stale and must be pruned via --write-baseline.
+    let mut baselined = vec![false; report.findings.len()];
+    let mut stale: Vec<(String, String, String, usize)> = Vec::new();
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simlint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simlint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let drift = base.drift(&report.findings);
+        baselined = vec![true; report.findings.len()];
+        for i in drift.new {
+            baselined[i] = false;
+        }
+        stale = drift.stale;
+    }
+
+    if format == Format::Json {
+        // The machine-readable report is the full finding set (baseline
+        // status is a gate concern, not part of the stable artifact).
+        print!("{}", render_report(&report));
+    }
+
     let mut denied_count = 0usize;
-    for f in &report.findings {
-        let is_denied = deny_all || denied.contains(f.rule);
+    for (i, f) in report.findings.iter().enumerate() {
+        let is_denied = (deny_all || denied.contains(f.rule)) && !baselined[i];
         if is_denied {
             denied_count += 1;
         }
-        println!("{f}{}", if is_denied { "" } else { " (advisory)" });
+        if format == Format::Text {
+            let tag = if baselined[i] {
+                " (baselined)"
+            } else if is_denied {
+                ""
+            } else {
+                " (advisory)"
+            };
+            println!("{f}{tag}");
+        }
     }
-    if report.findings.is_empty() {
-        println!(
-            "simlint: clean ({} files, {} rules)",
-            report.files_scanned,
-            enabled.len()
-        );
-    } else {
-        println!(
-            "simlint: {} finding(s), {} denied, across {} files",
-            report.findings.len(),
-            denied_count,
-            report.files_scanned
+    for (file, rule, message, n) in &stale {
+        eprintln!(
+            "simlint: stale baseline entry (x{n}): {file}: {rule}: {message} — \
+             the finding is gone; prune it with --write-baseline"
         );
     }
-    if denied_count > 0 {
+    if format == Format::Text {
+        if report.findings.is_empty() {
+            println!(
+                "simlint: clean ({} files, {} rules)",
+                report.files_scanned,
+                enabled.len()
+            );
+        } else {
+            println!(
+                "simlint: {} finding(s), {} denied, across {} files",
+                report.findings.len(),
+                denied_count,
+                report.files_scanned
+            );
+        }
+    }
+    if denied_count > 0 || !stale.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
 }
 
 /// Walks up from the current directory to the first `Cargo.toml`

@@ -185,7 +185,9 @@ fn following_block(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
 
 /// Per-line allowlist parsed from `// simlint: allow(rule-a, rule-b)`
 /// comments. A trailing comment suppresses findings on its own line; a
-/// comment alone on its line suppresses findings on the next line.
+/// comment alone on its line suppresses findings on the next *code*
+/// line — intervening comment lines (the justification the allow is
+/// expected to carry) don't break the attachment.
 pub fn allow_map(toks: &[Tok]) -> BTreeMap<u32, BTreeSet<String>> {
     let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
     for (i, t) in toks.iter().enumerate() {
@@ -200,7 +202,15 @@ pub fn allow_map(toks: &[Tok]) -> BTreeMap<u32, BTreeSet<String>> {
             .rev()
             .take_while(|p| p.line == t.line)
             .any(|p| !matches!(p.kind, TokKind::LineComment | TokKind::BlockComment));
-        let target = if standalone { t.line + 1 } else { t.line };
+        let target = if standalone {
+            toks[i + 1..]
+                .iter()
+                .find(|n| !matches!(n.kind, TokKind::LineComment | TokKind::BlockComment))
+                .map(|n| n.line)
+                .unwrap_or(t.line + 1)
+        } else {
+            t.line
+        };
         map.entry(target).or_default().extend(rules);
     }
     map
@@ -305,6 +315,19 @@ let b = 1.0 == y;
         assert!(map[&1].contains("no-panic-in-lib"));
         assert!(map[&3].contains("no-float-eq"));
         assert!(map[&3].contains("no-wall-clock"));
+        assert!(!map.contains_key(&2));
+    }
+
+    #[test]
+    fn standalone_allow_skips_justification_comments() {
+        let src = "\
+// simlint: allow(unbounded-sim-state) — deliberately O(samples):
+// exact percentiles need every sample; see the module docs.
+let samples = Vec::new();
+";
+        let toks = tokenize(src);
+        let map = allow_map(&toks);
+        assert!(map[&3].contains("unbounded-sim-state"), "attaches past comment lines");
         assert!(!map.contains_key(&2));
     }
 

@@ -110,6 +110,54 @@ fn unit_suffix_fixture() {
 }
 
 #[test]
+fn no_alloc_in_hot_path_fixture() {
+    let src = include_str!("fixtures/no_alloc_in_hot_path.rs");
+    assert_eq!(
+        findings("no_alloc_in_hot_path.rs", src, &lib("simkit")),
+        [
+            (8, "no-alloc-in-hot-path"),
+            (9, "no-alloc-in-hot-path"),
+            (14, "no-alloc-in-hot-path"),
+        ],
+        "the hot root's Vec::new and push fire, the transitive format! fires; \
+         the cold fn, the allowed with_capacity, and test code do not"
+    );
+}
+
+#[test]
+fn unbounded_sim_state_fixture() {
+    let src = include_str!("fixtures/unbounded_sim_state.rs");
+    assert_eq!(
+        findings("unbounded_sim_state.rs", src, &lib("simkit")),
+        [(7, "unbounded-sim-state")],
+        "the grow-only field fires; the draining queue, the allow-listed \
+         sample buffer, and test-only state do not"
+    );
+}
+
+#[test]
+fn unchecked_slot_id_fixture() {
+    let src = include_str!("fixtures/unchecked_slot_id.rs");
+    assert_eq!(
+        findings("unchecked_slot_id.rs", src, &lib("simkit")),
+        [(12, "unchecked-slot-id"), (17, "unchecked-slot-id")],
+        "the direct unwrap and the unwrap through a binding fire; map, \
+         ok_or+?, match, the allow-listed unwrap, and test code do not"
+    );
+}
+
+#[test]
+fn exhaustive_event_match_fixture() {
+    let src = include_str!("fixtures/exhaustive_event_match.rs");
+    assert_eq!(
+        findings("exhaustive_event_match.rs", src, &lib("telemetry")),
+        [(9, "exhaustive-event-match")],
+        "the `_` arm over TraceEvent fires; the enumerated match, the \
+         unwatched enum, the allow-listed arm, and test code do not"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");
     for krate in ["simkit", "diskmodel", "intradisk", "array", "workload", "experiments"] {
@@ -125,7 +173,27 @@ fn every_fixture_violation_fires_without_its_allowances() {
     // Belt and braces: each violating fixture must produce at least one
     // finding under its target class, so the positive arms above cannot
     // silently rot into all-clean files.
-    let cases: [(&str, &str, &str); 7] = [
+    let cases: [(&str, &str, &str); 11] = [
+        (
+            "no_alloc_in_hot_path.rs",
+            include_str!("fixtures/no_alloc_in_hot_path.rs"),
+            "simkit",
+        ),
+        (
+            "unbounded_sim_state.rs",
+            include_str!("fixtures/unbounded_sim_state.rs"),
+            "simkit",
+        ),
+        (
+            "unchecked_slot_id.rs",
+            include_str!("fixtures/unchecked_slot_id.rs"),
+            "simkit",
+        ),
+        (
+            "exhaustive_event_match.rs",
+            include_str!("fixtures/exhaustive_event_match.rs"),
+            "telemetry",
+        ),
         ("no_wall_clock.rs", include_str!("fixtures/no_wall_clock.rs"), "simkit"),
         (
             "no_unordered_iteration.rs",

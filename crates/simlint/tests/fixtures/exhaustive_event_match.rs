@@ -1,0 +1,42 @@
+// Fixture for the exhaustive-event-match rule. This file is lexed by
+// the simlint test suite, never compiled. A `_` arm over a watched
+// event enum fires; a fully enumerated match, a match over an
+// unwatched enum, an allow-listed arm, and test code do not.
+
+pub fn bad(e: &TraceEvent) -> u32 {
+    match e {
+        TraceEvent::Complete { .. } => 1,
+        _ => 0,
+    }
+}
+
+pub fn good_enumerated(e: TraceEvent) -> u32 {
+    match e {
+        TraceEvent::Complete { .. } => 1,
+        TraceEvent::Dispatched { .. } => 2,
+    }
+}
+
+pub fn good_unwatched(m: OverlapMode) -> u32 {
+    match m {
+        OverlapMode::Full => 1,
+        _ => 0,
+    }
+}
+
+pub fn accepted(m: PowerMode) -> u32 {
+    match m {
+        PowerMode::Idle => 1,
+        _ => 0, // simlint: allow(exhaustive-event-match)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(e: &TraceEvent) -> u32 {
+        match e {
+            TraceEvent::Complete { .. } => 1,
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture for the no-alloc-in-hot-path rule. This file is lexed by the
+// simlint test suite, never compiled. The hot root allocates directly,
+// a callee allocates transitively, a cold fn allocates freely, an
+// allowed site is suppressed, and test code is exempt.
+
+// simlint: hot
+pub fn dispatch() {
+    let mut v = Vec::new();
+    v.push(1);
+    helper();
+}
+
+fn helper() {
+    let _s = format!("transitive");
+}
+
+fn cold() {
+    let mut v = Vec::new();
+    v.push(2);
+}
+
+// simlint: hot
+pub fn tuned() {
+    let _v: Vec<u32> = Vec::with_capacity(8); // simlint: allow(no-alloc-in-hot-path)
+}
+
+#[cfg(test)]
+mod tests {
+    // simlint: hot
+    pub fn bench_setup() {
+        let mut v = Vec::new();
+        v.push(3);
+    }
+}

@@ -1,0 +1,53 @@
+// Fixture for the unbounded-sim-state rule. This file is lexed by the
+// simlint test suite, never compiled. One struct grows without a
+// shrink path, one drains, one is deliberately allow-listed, and test
+// state is exempt.
+
+pub struct Grower {
+    log: Vec<u64>,
+}
+
+impl Grower {
+    pub fn record(&mut self, x: u64) {
+        self.log.push(x);
+    }
+}
+
+pub struct Bounded {
+    queue: VecDeque<u64>,
+}
+
+impl Bounded {
+    pub fn enqueue(&mut self, x: u64) {
+        self.queue.push_back(x);
+    }
+
+    pub fn dequeue(&mut self) -> Option<u64> {
+        self.queue.pop_front()
+    }
+}
+
+pub struct Accepted {
+    // simlint: allow(unbounded-sim-state) — deliberate O(n) sample
+    // buffer; exact percentiles need every sample.
+    samples: Vec<f64>,
+}
+
+impl Accepted {
+    pub fn add(&mut self, s: f64) {
+        self.samples.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub struct TestOnly {
+        items: Vec<u64>,
+    }
+
+    impl TestOnly {
+        pub fn put(&mut self, x: u64) {
+            self.items.push(x);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+// Fixture for the unchecked-slot-id rule. This file is lexed by the
+// simlint test suite, never compiled. A direct unwrap and an unwrap
+// through a binding fire; match/map/ok_or handling, an allow-listed
+// unwrap, and test code do not.
+
+pub struct Pool {
+    slab: Slab<Req>,
+}
+
+impl Pool {
+    pub fn bad_direct(&self, id: SlotId) -> u64 {
+        self.slab.get(id).unwrap().lba // simlint: allow(no-panic-in-lib)
+    }
+
+    pub fn bad_via_binding(&mut self, id: SlotId) -> u64 {
+        let entry = self.slab.get_mut(id);
+        entry.expect("live").lba // simlint: allow(no-panic-in-lib)
+    }
+
+    pub fn good_map(&self, id: SlotId) -> Option<u64> {
+        self.slab.get(id).map(|r| r.lba)
+    }
+
+    pub fn good_propagated(&self, id: SlotId) -> Result<u64, Stale> {
+        Ok(self.slab.get(id).ok_or(Stale)?.lba)
+    }
+
+    pub fn good_matched(&self, id: SlotId) -> u64 {
+        match self.slab.get(id) {
+            Some(r) => r.lba,
+            None => 0,
+        }
+    }
+
+    pub fn accepted(&self, id: SlotId) -> u64 {
+        self.slab.get(id).unwrap().lba // simlint: allow(unchecked-slot-id, no-panic-in-lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(pool: &Pool, id: SlotId) -> u64 {
+        pool.slab.get(id).unwrap().lba
+    }
+}

@@ -208,7 +208,12 @@ impl TraceEvent {
             | TraceEvent::RotWait { actuator, .. }
             | TraceEvent::Transfer { actuator, .. }
             | TraceEvent::ActuatorIdle { actuator } => Some(actuator),
-            _ => None,
+            TraceEvent::RequestSubmitted { .. }
+            | TraceEvent::RequestQueued { .. }
+            | TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::Complete { .. }
+            | TraceEvent::PowerModeChange { .. } => None,
         }
     }
 
@@ -225,7 +230,7 @@ impl TraceEvent {
             | TraceEvent::CacheHit { req }
             | TraceEvent::CacheMiss { req }
             | TraceEvent::Complete { req } => Some(req),
-            _ => None,
+            TraceEvent::PowerModeChange { .. } | TraceEvent::ActuatorIdle { .. } => None,
         }
     }
 }

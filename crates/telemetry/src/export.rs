@@ -31,13 +31,10 @@ fn us(ns: u64) -> String {
 
 /// The Perfetto thread a sample renders on.
 fn tid_for(event: &TraceEvent) -> u32 {
-    match event.actuator() {
-        Some(a) => a,
-        None => match event {
-            TraceEvent::PowerModeChange { .. } => MODE_TID,
-            _ => REQUESTS_TID,
-        },
+    if let TraceEvent::PowerModeChange { .. } = event {
+        return MODE_TID;
     }
+    event.actuator().unwrap_or(REQUESTS_TID)
 }
 
 /// Exports samples as Chrome trace-event JSON (open in Perfetto).
@@ -228,7 +225,11 @@ pub fn timeline_csv(samples: &[Sample]) -> String {
                 dur = d.as_nanos().to_string();
             }
             TraceEvent::PowerModeChange { mode: m } => mode = m.name().to_string(),
-            _ => {}
+            TraceEvent::SeekEnd { .. }
+            | TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::Complete { .. }
+            | TraceEvent::ActuatorIdle { .. } => {}
         }
         out.push_str(&format!(
             "{ns},{},{},{kind},{req},{act},{lba},{sectors},{op},{depth},{from},{to},{dur},{mode}\n",

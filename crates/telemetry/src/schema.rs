@@ -162,7 +162,14 @@ pub fn validate(samples: &[Sample], actuators: u32) -> Result<(), Vec<String>> {
                     );
                 }
             }
-            _ => {}
+            TraceEvent::RequestQueued { .. }
+            | TraceEvent::Dispatched { .. }
+            | TraceEvent::RotWait { .. }
+            | TraceEvent::Transfer { .. }
+            | TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::PowerModeChange { .. }
+            | TraceEvent::ActuatorIdle { .. } => {}
         }
     }
 

@@ -2,7 +2,10 @@
 # Pre-PR verification gate.
 #
 # Runs the tier-1 check from ROADMAP.md (release build + full test
-# suite), with the simlint determinism gate between build and tests,
+# suite), with the simlint gates between build and tests (the workspace
+# must be finding-free against the committed simlint.baseline.json —
+# new findings fail, stale baseline entries fail — and the JSON
+# diagnostics must be byte-identical across two runs),
 # a reduced-scale parallel-sweep determinism check (the `repro` report
 # must be byte-identical at --jobs 2 and --jobs 1), the telemetry
 # trace-export determinism check (every `--trace` file byte-identical
@@ -10,10 +13,10 @@
 # determinism checks (every `--metrics` file and the rendered
 # report.html byte-identical across runs and --jobs values), and then
 # the event-kernel swap gates (report and exports byte-identical to
-# the goldens pinned on the retired binary-heap kernel, the
-# differential property suite, and a throughput floor: the timing
-# wheel must not be slower than the heap), and then the test suite
-# again with ignored tests included.
+# the goldens pinned on the retired binary-heap kernel, the named
+# kernel-swap golden oracles, the differential property suite, and a
+# throughput floor: the timing wheel must not be slower than the
+# heap), and then the test suite again with ignored tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -21,15 +24,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+sweep_dir=$(mktemp -d)
+trap 'rm -rf "$sweep_dir"' EXIT
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> gate: simlint --deny-all"
-cargo run --release -p simlint -- --deny-all
+echo "==> gate: simlint --deny-all against simlint.baseline.json"
+cargo run --release -p simlint -- --deny-all --baseline simlint.baseline.json
+
+echo "==> gate: simlint --format json byte-identical across two runs"
+cargo run --release -p simlint -- --format json > "$sweep_dir/lint1.json"
+cargo run --release -p simlint -- --format json > "$sweep_dir/lint2.json"
+cmp "$sweep_dir/lint1.json" "$sweep_dir/lint2.json"
 
 echo "==> gate: reduced-scale sweep, --jobs 2 byte-identical to --jobs 1"
-sweep_dir=$(mktemp -d)
-trap 'rm -rf "$sweep_dir"' EXIT
 target/release/repro all --requests 2000 --jobs 1 > "$sweep_dir/serial.txt" 2>/dev/null
 target/release/repro all --requests 2000 --jobs 2 > "$sweep_dir/jobs2.txt" 2>/dev/null
 cmp "$sweep_dir/serial.txt" "$sweep_dir/jobs2.txt"
@@ -64,6 +73,9 @@ cmp "$sweep_dir/m1/report.html" "$sweep_dir/m2/report.html"
 
 echo "==> gate: BENCH_*.json schema (scripts/bench_summary.sh)"
 scripts/bench_summary.sh >/dev/null
+
+echo "==> gate: kernel-swap golden oracles (ignored-by-default, run here by name)"
+cargo test -q --test oracles -- --include-ignored golden_kernel_swap
 
 echo "==> gate: event-kernel differential property suite"
 cargo test -q --test properties
