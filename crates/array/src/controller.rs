@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 
 use diskmodel::{DiskParams, DriveError};
 use intradisk::{DiskDrive, DriveConfig, IoRequest, PowerBreakdown};
-use simkit::{Histogram, SimTime, Slab, SlotId, Summary};
+use simkit::{Histogram, ResponseStats, SimTime, Slab, SlotId, StatsMode};
 use telemetry::{NullRecorder, Recorder, ScopedRecorder, TraceEvent};
 
 use crate::layout::{Layout, SubRequest};
@@ -61,23 +61,22 @@ pub struct DiskCompletion {
 /// Array-level statistics.
 #[derive(Debug, Clone)]
 pub struct ArrayMetrics {
-    /// Logical response times, milliseconds.
-    pub response_time_ms: Summary,
+    /// Logical response times, milliseconds. Collected in the member
+    /// disks' [`StatsMode`]: exact (every sample, the oracle) or
+    /// streaming (bounded memory); `percentile_stream` is always
+    /// available.
+    pub response_time_ms: ResponseStats,
     /// Logical response-time histogram over the paper's CDF edges.
     pub response_hist: Histogram,
-    /// Bounded-memory streaming view of the logical response times
-    /// (O(buckets) memory, documented percentile error bound).
-    pub response_stream: simkit::StreamingHistogram,
     /// Completed logical requests.
     pub completed: u64,
 }
 
 impl ArrayMetrics {
-    fn new() -> Self {
+    fn with_mode(mode: StatsMode) -> Self {
         ArrayMetrics {
-            response_time_ms: Summary::new(),
+            response_time_ms: ResponseStats::with_mode(mode),
             response_hist: Histogram::new(Histogram::paper_response_time_edges()),
-            response_stream: simkit::StreamingHistogram::new(),
             completed: 0,
         }
     }
@@ -86,7 +85,6 @@ impl ArrayMetrics {
         let rt = c.response_time().as_millis();
         self.response_time_ms.record(rt);
         self.response_hist.record(rt);
-        self.response_stream.record(rt);
         self.completed += 1;
     }
 }
@@ -166,6 +164,7 @@ impl ArrayController {
         layout: Layout,
     ) -> Self {
         assert!(disks > 0, "array needs at least one disk");
+        let stats_mode = member.stats;
         let members: Vec<DiskDrive> = (0..disks)
             .map(|_| DiskDrive::new(params, member.clone()))
             .collect();
@@ -179,7 +178,7 @@ impl ArrayController {
             sub_owner: SubOwnerWindow::default(),
             outstanding: Slab::new(),
             next_sub_id: 0,
-            metrics: ArrayMetrics::new(),
+            metrics: ArrayMetrics::with_mode(stats_mode),
         }
     }
 

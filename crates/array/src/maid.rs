@@ -15,7 +15,7 @@
 use diskmodel::{DiskParams, PowerModel};
 use intradisk::service::{ArmState, LatencyScaling, Mechanics};
 use intradisk::IoRequest;
-use simkit::{SimDuration, SimTime, Summary};
+use simkit::{ResponseStats, SimDuration, SimTime};
 
 /// MAID spin-down policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,7 +48,7 @@ impl MaidConfig {
 #[derive(Debug, Clone)]
 pub struct MaidResult {
     /// Logical response times, ms.
-    pub response_time_ms: Summary,
+    pub response_time_ms: ResponseStats,
     /// Completed requests.
     pub completed: u64,
     /// Total energy, joules.
@@ -123,7 +123,7 @@ pub fn replay(
     let per_disk = members[0].mech.geometry().total_sectors();
     let capacity = per_disk * disks as u64;
 
-    let mut response = Summary::new();
+    let mut response = ResponseStats::exact();
     let mut spin_ups = 0u64;
     let mut end = SimTime::ZERO;
 

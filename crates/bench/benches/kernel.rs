@@ -24,9 +24,10 @@
 //! the floor gate `scripts/verify.sh` uses.
 
 use bench::bench;
+use simkit::stats::Summary;
 use simkit::{
     Calendar, Exponential, HeapEventQueue, Rng64, Sample, SimDuration, SimTime, Slab,
-    StreamingHistogram, Summary, WheelEventQueue,
+    StreamingHistogram, WheelEventQueue,
 };
 use std::hint::black_box;
 

@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S]
-//!       [--trace DIR] [--metrics DIR]
+//!       [--stats exact|streaming] [--trace DIR] [--metrics DIR]
 //! repro report DIR
+//! repro spc FILE [--actuators N] [--requests N]
+//! repro scale [--requests N] [--actuators N] [--inter-arrival MS]
+//!             [--stats exact|streaming] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 (alias: sa_eval) |
 //!             fig6 | fig7 | fig8 | table9 | fig9 | thermal | drpm |
 //!             all (default: all; `all` includes the extension studies)
 //! ```
+//!
+//! `--stats streaming` swaps the studies' exact sample stores for
+//! bounded-memory streaming accumulators; with it, request counts far
+//! beyond report scale (10⁷–10⁸) run in flat memory. `repro scale` is
+//! the dedicated scaling scenario: one SA(n) drive under the synthetic
+//! open workload, printing deterministic stats to stdout and the peak
+//! RSS (`[max-rss-kb: N]`, from `/proc/self/status` VmHWM) to stderr —
+//! CI gates on that probe.
 //!
 //! Sweeps fan out across `--jobs` worker threads (default: the
 //! machine's available parallelism). The report printed to stdout is
@@ -25,21 +36,21 @@
 //! `DIR/report.html` dashboard.
 
 use std::env;
-use std::fs::File;
-use std::io::BufReader;
 use std::process::ExitCode;
 
-use experiments::configs::Scale;
+use experiments::configs::{hcsd_params, Scale};
 use experiments::{
     cost_analysis, extensions, tech_table, BottleneckStudy, Executor, LimitStudy, RaidStudy,
     RpmStudy, SaStudy, Study, StudyError, ValidationStudy,
 };
+use simkit::StatsMode;
 
 struct Args {
     experiment: String,
     scale: Scale,
     spc_file: Option<String>,
     actuators: u32,
+    inter_arrival_ms: f64,
     jobs: usize,
     trace_dir: Option<String>,
     metrics_dir: Option<String>,
@@ -57,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::report();
     let mut spc_file = None;
     let mut actuators = 4u32;
+    let mut inter_arrival_ms = 6.0;
     let mut jobs = default_jobs();
     let mut trace_dir = None;
     let mut metrics_dir = None;
@@ -95,6 +107,27 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --requests: {e}"))?;
                 scale = scale.with_requests(v);
             }
+            "--stats" => {
+                let v = it.next().ok_or("--stats needs exact|streaming")?;
+                let mode = match v.as_str() {
+                    "exact" => StatsMode::Exact,
+                    "streaming" => StatsMode::Streaming,
+                    other => {
+                        return Err(format!("bad --stats {other:?} (want exact|streaming)"));
+                    }
+                };
+                scale = scale.with_stats(mode);
+            }
+            "--inter-arrival" => {
+                inter_arrival_ms = it
+                    .next()
+                    .ok_or("--inter-arrival needs a value in ms")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --inter-arrival: {e}"))?;
+                if !(inter_arrival_ms > 0.0) {
+                    return Err("--inter-arrival must be positive".to_string());
+                }
+            }
             "--seed" => {
                 scale.seed = it
                     .next()
@@ -104,7 +137,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--stats exact|streaming] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]\n       repro scale [--requests N] [--actuators N] [--inter-arrival MS] [--stats exact|streaming] [--seed S]"
                         .to_string(),
                 );
             }
@@ -130,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         spc_file,
         actuators,
+        inter_arrival_ms,
         jobs,
         trace_dir,
         metrics_dir,
@@ -139,28 +173,88 @@ fn parse_args() -> Result<Args, String> {
 
 /// Replays a real SPC-format trace (e.g. the UMass Financial or
 /// Websearch traces) against conventional and intra-disk parallel
-/// drives.
+/// drives. The trace streams from disk one line at a time
+/// ([`workload::spc::SpcSource`]); the scan pass validates every line
+/// up front, so multi-gigabyte traces replay in flat memory.
 fn run_spc(args: &Args) -> Result<(), String> {
     let Some(path) = args.spc_file.as_deref() else {
         return Err("spc mode needs a trace file: repro spc <file>".to_string());
     };
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let trace = workload::spc::read_trace(BufReader::new(file), path, 1, Some(args.scale.requests))
-        .map_err(|e| e.to_string())?;
-    println!("replaying {} ({} requests, stats {:?})", path, trace.len(), trace.stats());
-    for n in [1u32, args.actuators] {
+    for (i, n) in [1u32, args.actuators].into_iter().enumerate() {
+        let source = workload::SpcSource::from_path(path, path, 1, Some(args.scale.requests))
+            .map_err(|e| e.to_string())?;
+        if i == 0 {
+            println!(
+                "replaying {} (footprint {} sectors, stats {:?})",
+                path,
+                source.layout().footprint_sectors(),
+                args.scale.stats
+            );
+        }
         let r = experiments::run_drive(
-            &experiments::configs::hcsd_params(),
-            intradisk::DriveConfig::sa(n),
-            &trace,
+            &hcsd_params(),
+            intradisk::DriveConfig::sa(n).with_stats_mode(args.scale.stats),
+            source,
         )
         .map_err(|e| format!("SA({n}) replay failed: {e}"))?;
         println!(
-            "  SA({n}): mean {:.2} ms | p90-bucketed CDF@20ms {:.1}% | power {:.2} W",
+            "  SA({n}): {} requests | mean {:.2} ms | p90-bucketed CDF@20ms {:.1}% | power {:.2} W",
+            r.metrics.response_time_ms.count(),
             r.metrics.response_time_ms.mean(),
             r.metrics.response_hist.cdf().at(20.0) * 100.0,
             r.power.total_w()
         );
+    }
+    Ok(())
+}
+
+/// Peak resident set size (VmHWM) of this process in kB, from
+/// `/proc/self/status`. `None` where procfs is unavailable.
+fn max_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The bounded-memory scaling scenario: one SA(n) drive under the
+/// synthetic open workload (60% reads, 20% sequential, exponential
+/// inter-arrivals), streamed lazily from the generator so the request
+/// count can far exceed what would fit materialized. Stats go to
+/// stdout; the peak-RSS probe goes to stderr so stdout stays
+/// deterministic for a given configuration.
+fn run_scale(args: &Args) -> Result<(), String> {
+    let params = hcsd_params();
+    let spec = workload::SyntheticSpec::paper(
+        args.inter_arrival_ms,
+        params.capacity_sectors(),
+        args.scale.requests,
+    );
+    let r = experiments::run_drive(
+        &params,
+        intradisk::DriveConfig::sa(args.actuators).with_stats_mode(args.scale.stats),
+        spec.source(args.scale.seed),
+    )
+    .map_err(|e| format!("scale run failed: {e}"))?;
+    let stats = &r.metrics.response_time_ms;
+    println!(
+        "scale: {} requests | SA({}) | {:.1} ms inter-arrival | stats {:?} | seed {}",
+        args.scale.requests,
+        args.actuators,
+        args.inter_arrival_ms,
+        args.scale.stats,
+        args.scale.seed
+    );
+    println!(
+        "  completed {} | mean {:.3} ms | p90(stream) {:.3} ms",
+        stats.count(),
+        stats.mean(),
+        r.p90_stream_ms()
+    );
+    if stats.is_exact() {
+        println!("  p90(exact) {:.3} ms", stats.percentile(90.0));
+    }
+    if let Some(kb) = max_rss_kb() {
+        eprintln!("[max-rss-kb: {kb}]");
     }
     Ok(())
 }
@@ -266,6 +360,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.experiment == "scale" {
+        return match run_scale(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if args.experiment == "spc" {
         return match run_spc(&args) {

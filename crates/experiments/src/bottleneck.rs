@@ -13,7 +13,7 @@ use intradisk::{DriveConfig, LatencyScaling};
 use simkit::Cdf;
 use workload::WorkloadKind;
 
-use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::configs::{hcsd_params, md_config, source_for, Scale};
 use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
@@ -123,14 +123,13 @@ impl Study for BottleneckStudy {
     ) -> Result<BottleneckOutput, DriveError> {
         match *point {
             BottleneckPoint::Md(kind) => {
-                let trace = trace_for(kind, scale);
                 let cfg = md_config(kind);
                 let md = run_array(
                     &cfg.drive,
-                    DriveConfig::conventional(),
+                    DriveConfig::conventional().with_stats_mode(scale.stats),
                     cfg.disks,
                     cfg.layout,
-                    &trace,
+                    source_for(kind, scale),
                 )?;
                 Ok(BottleneckOutput::Md(
                     kind,
@@ -139,11 +138,12 @@ impl Study for BottleneckStudy {
                 ))
             }
             BottleneckPoint::Seek(kind, f) => {
-                let trace = trace_for(kind, scale);
                 let r = run_drive(
                     &hcsd_params(),
-                    DriveConfig::conventional().with_scaling(LatencyScaling::seek_only(f)),
-                    &trace,
+                    DriveConfig::conventional()
+                        .with_scaling(LatencyScaling::seek_only(f))
+                        .with_stats_mode(scale.stats),
+                    source_for(kind, scale),
                 )?;
                 Ok(BottleneckOutput::Seek(
                     r.metrics.response_time_ms.mean(),
@@ -151,11 +151,12 @@ impl Study for BottleneckStudy {
                 ))
             }
             BottleneckPoint::Rot(kind, f) => {
-                let trace = trace_for(kind, scale);
                 let r = run_drive(
                     &hcsd_params(),
-                    DriveConfig::conventional().with_scaling(LatencyScaling::rotational_only(f)),
-                    &trace,
+                    DriveConfig::conventional()
+                        .with_scaling(LatencyScaling::rotational_only(f))
+                        .with_stats_mode(scale.stats),
+                    source_for(kind, scale),
                 )?;
                 Ok(BottleneckOutput::Rot(
                     r.metrics.response_time_ms.mean(),

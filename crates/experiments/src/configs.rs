@@ -8,7 +8,8 @@
 
 use array::Layout;
 use diskmodel::{presets, DiskParams};
-use workload::{profile_for, Trace, WorkloadKind};
+use simkit::StatsMode;
+use workload::{profile_for, ProfileSource, Trace, WorkloadKind};
 
 /// How many requests to replay per run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,10 @@ pub struct Scale {
     pub requests: usize,
     /// Seed for the generators.
     pub seed: u64,
+    /// How the studies collect latency statistics: `Exact` retains
+    /// every sample (default; byte-stable report output); `Streaming`
+    /// bounds memory for runs far beyond report scale.
+    pub stats: StatsMode,
 }
 
 impl Scale {
@@ -25,6 +30,7 @@ impl Scale {
         Scale {
             requests: 15_000,
             seed: 42,
+            stats: StatsMode::Exact,
         }
     }
 
@@ -33,6 +39,7 @@ impl Scale {
         Scale {
             requests: 40_000,
             seed: 42,
+            stats: StatsMode::Exact,
         }
     }
 
@@ -41,6 +48,7 @@ impl Scale {
         Scale {
             requests: 200_000,
             seed: 42,
+            stats: StatsMode::Exact,
         }
     }
 
@@ -48,6 +56,12 @@ impl Scale {
     pub fn with_requests(mut self, requests: usize) -> Self {
         assert!(requests > 0, "need at least one request");
         self.requests = requests;
+        self
+    }
+
+    /// Overrides the statistics mode.
+    pub fn with_stats(mut self, stats: StatsMode) -> Self {
+        self.stats = stats;
         self
     }
 }
@@ -94,9 +108,17 @@ pub fn hcsd_params() -> DiskParams {
     presets::barracuda_es_750gb()
 }
 
-/// Generates the calibrated trace for a workload at the given scale.
+/// Generates the calibrated trace for a workload at the given scale,
+/// materialized in memory. Prefer [`source_for`] for large runs.
 pub fn trace_for(kind: WorkloadKind, scale: Scale) -> Trace {
     profile_for(kind).generate(scale.requests, scale.seed)
+}
+
+/// The lazy [`workload::RequestSource`] for a workload at the given
+/// scale — yields exactly the requests [`trace_for`] materializes, in
+/// order, with O(1) memory.
+pub fn source_for(kind: WorkloadKind, scale: Scale) -> ProfileSource {
+    profile_for(kind).source(scale.requests, scale.seed)
 }
 
 #[cfg(test)]
@@ -146,5 +168,19 @@ mod tests {
     fn trace_scales() {
         let t = trace_for(WorkloadKind::TpcC, Scale::quick());
         assert_eq!(t.len(), Scale::quick().requests);
+    }
+
+    #[test]
+    fn source_for_matches_trace_for() {
+        use workload::collect_trace;
+        let scale = Scale::quick().with_requests(2_000);
+        for kind in WorkloadKind::ALL {
+            assert_eq!(
+                collect_trace(source_for(kind, scale)),
+                trace_for(kind, scale),
+                "{}",
+                kind.name()
+            );
+        }
     }
 }

@@ -19,7 +19,7 @@ use intradisk::drpm::{self, DrpmConfig};
 use intradisk::DriveConfig;
 use workload::WorkloadKind;
 
-use crate::configs::{hcsd_params, trace_for, Scale};
+use crate::configs::{hcsd_params, source_for, trace_for, Scale};
 use crate::report;
 use crate::runner::{run_array, run_drive};
 
@@ -119,15 +119,22 @@ pub struct DrpmRow {
 }
 
 /// Replays `kind` against the three designs.
+///
+/// The DRPM baseline's replay takes a request slice, so this comparison
+/// materializes the trace once and shares it across all three runs.
 pub fn drpm_comparison(kind: WorkloadKind, scale: Scale) -> Result<Vec<DrpmRow>, DriveError> {
     let trace = trace_for(kind, scale);
     let params = hcsd_params();
 
-    let conventional = run_drive(&params, DriveConfig::conventional(), &trace)?;
+    let conventional = run_drive(
+        &params,
+        DriveConfig::conventional().with_stats_mode(scale.stats),
+        &trace,
+    )?;
     let drpm = drpm::replay(&params, DrpmConfig::typical(), trace.requests());
     let low_rpm_sa4 = run_drive(
         &presets::barracuda_es_at_rpm(4_200),
-        DriveConfig::sa(4),
+        DriveConfig::sa(4).with_stats_mode(scale.stats),
         &trace,
     )?;
     Ok(vec![
@@ -213,19 +220,31 @@ pub fn dash_dimension_study(
     kind: WorkloadKind,
     scale: Scale,
 ) -> Result<Vec<DashRow>, DriveError> {
-    let trace = trace_for(kind, scale);
     let base = hcsd_params();
+    let mode = scale.stats;
 
-    let conventional = run_drive(&base, DriveConfig::conventional(), &trace)?;
+    let conventional = run_drive(
+        &base,
+        DriveConfig::conventional().with_stats_mode(mode),
+        source_for(kind, scale),
+    )?;
     let d2 = run_array(
         &half_stack(),
-        DriveConfig::conventional(),
+        DriveConfig::conventional().with_stats_mode(mode),
         2,
         Layout::striped_default(),
-        &trace,
+        source_for(kind, scale),
     )?;
-    let a2 = run_drive(&base, DriveConfig::sa(2), &trace)?;
-    let h2 = run_drive(&base, DriveConfig::dash(1, 2), &trace)?;
+    let a2 = run_drive(
+        &base,
+        DriveConfig::sa(2).with_stats_mode(mode),
+        source_for(kind, scale),
+    )?;
+    let h2 = run_drive(
+        &base,
+        DriveConfig::dash(1, 2).with_stats_mode(mode),
+        source_for(kind, scale),
+    )?;
 
     Ok(vec![
         DashRow {

@@ -7,7 +7,7 @@ use intradisk::DriveConfig;
 use simkit::Cdf;
 use workload::WorkloadKind;
 
-use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::configs::{hcsd_params, md_config, source_for, Scale};
 use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive, ArrayRunResult, DriveRunResult};
@@ -104,20 +104,22 @@ impl Study for LimitStudy {
     fn run_point(&self, point: &LimitPoint, scale: Scale) -> Result<LimitOutput, DriveError> {
         match *point {
             LimitPoint::Md(kind) => {
-                let trace = trace_for(kind, scale);
                 let cfg = md_config(kind);
                 let md = run_array(
                     &cfg.drive,
-                    DriveConfig::conventional(),
+                    DriveConfig::conventional().with_stats_mode(scale.stats),
                     cfg.disks,
                     cfg.layout,
-                    &trace,
+                    source_for(kind, scale),
                 )?;
                 Ok(LimitOutput::Md(kind, md))
             }
             LimitPoint::Hcsd(kind) => {
-                let trace = trace_for(kind, scale);
-                let hcsd = run_drive(&hcsd_params(), DriveConfig::conventional(), &trace)?;
+                let hcsd = run_drive(
+                    &hcsd_params(),
+                    DriveConfig::conventional().with_stats_mode(scale.stats),
+                    source_for(kind, scale),
+                )?;
                 Ok(LimitOutput::Hcsd(hcsd))
             }
         }

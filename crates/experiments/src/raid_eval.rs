@@ -141,13 +141,12 @@ impl Study for RaidStudy {
             params.capacity_sectors(),
             scale.requests,
         );
-        let trace = spec.generate(scale.seed);
         let r = run_array(
             &params,
-            DriveConfig::sa(point.member_actuators),
+            DriveConfig::sa(point.member_actuators).with_stats_mode(scale.stats),
             point.disks,
             Layout::striped_default(),
-            &trace,
+            spec.source(scale.seed),
         )?;
         Ok((
             point.inter_arrival_ms,

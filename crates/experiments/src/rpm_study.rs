@@ -9,7 +9,7 @@ use intradisk::{DriveConfig, PowerBreakdown};
 use simkit::Cdf;
 use workload::WorkloadKind;
 
-use crate::configs::{md_config, trace_for, Scale};
+use crate::configs::{md_config, source_for, Scale};
 use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
@@ -158,14 +158,13 @@ impl Study for RpmStudy {
     fn run_point(&self, point: &RpmPointSpec, scale: Scale) -> Result<RpmOutput, DriveError> {
         match *point {
             RpmPointSpec::Md(kind) => {
-                let trace = trace_for(kind, scale);
                 let cfg = md_config(kind);
                 let md = run_array(
                     &cfg.drive,
-                    DriveConfig::conventional(),
+                    DriveConfig::conventional().with_stats_mode(scale.stats),
                     cfg.disks,
                     cfg.layout,
-                    &trace,
+                    source_for(kind, scale),
                 )?;
                 Ok(RpmOutput::Md {
                     kind,
@@ -174,9 +173,12 @@ impl Study for RpmStudy {
                 })
             }
             RpmPointSpec::Design { kind, actuators, rpm } => {
-                let trace = trace_for(kind, scale);
                 let params = presets::barracuda_es_at_rpm(rpm);
-                let r = run_drive(&params, DriveConfig::sa(actuators), &trace)?;
+                let r = run_drive(
+                    &params,
+                    DriveConfig::sa(actuators).with_stats_mode(scale.stats),
+                    source_for(kind, scale),
+                )?;
                 Ok(RpmOutput::Design(RpmPoint {
                     actuators,
                     rpm,

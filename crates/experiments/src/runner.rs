@@ -1,10 +1,17 @@
 //! Shared trace-driven event loops.
 //!
-//! Two runners cover every experiment: [`run_drive`] replays a trace
+//! Two runners cover every experiment: [`run_drive`] replays a workload
 //! against a single (conventional or intra-disk parallel) drive;
 //! [`run_array`] replays it against an [`ArrayController`]. Both close
 //! power accounting at the later of the last arrival and the last
 //! completion, so idle tails are charged correctly.
+//!
+//! The runners are **pull-based**: they accept any
+//! [`IntoRequestSource`] — a materialized [`workload::Trace`] by
+//! reference (backward compatible) or a lazy source
+//! (`SyntheticSpec::source`, `TraceProfile::source`, `SpcSource`) — and
+//! hold at most one request of lookahead, so a 10⁸-request run never
+//! materializes its workload.
 //!
 //! The runners surface the drive/array state machines' typed
 //! [`DriveError`]s instead of panicking: a protocol violation aborts
@@ -15,11 +22,11 @@ use array::{ArrayController, Layout};
 use diskmodel::{DiskParams, DriveError};
 use intradisk::failure::FailureSchedule;
 use intradisk::{DiskDrive, DriveConfig, DriveMetrics, PowerBreakdown};
-use simkit::{EventQueue, SimDuration, SimTime, Summary};
+use simkit::{EventQueue, ResponseStats, SimDuration, SimTime};
 use telemetry::{NullRecorder, Recorder};
-use workload::Trace;
+use workload::{IntoRequestSource, RequestSource};
 
-/// Result of replaying a trace on a single drive.
+/// Result of replaying a workload on a single drive.
 #[derive(Debug, Clone)]
 pub struct DriveRunResult {
     /// Everything the drive recorded.
@@ -31,31 +38,32 @@ pub struct DriveRunResult {
 }
 
 impl DriveRunResult {
-    /// The 90th-percentile response time in milliseconds.
+    /// The 90th-percentile response time in milliseconds (exact when
+    /// the drive ran in `StatsMode::Exact`; bounded-error streaming
+    /// read otherwise).
     ///
-    /// The run loop finalizes the summary when the replay ends, so this
+    /// The run loop finalizes the stats when the replay ends, so this
     /// is an indexed read on a shared reference.
     pub fn p90_ms(&self) -> f64 {
         self.metrics.response_time_ms.percentile(90.0)
     }
 
-    /// The 90th percentile from the bounded-memory streaming histogram
-    /// — agrees with [`DriveRunResult::p90_ms`] within the streaming
-    /// histogram's documented relative-error bound.
+    /// The 90th percentile from the bounded-memory streaming view —
+    /// available in either mode, and agrees with
+    /// [`DriveRunResult::p90_ms`] within the streaming histogram's
+    /// documented relative-error bound.
     pub fn p90_stream_ms(&self) -> f64 {
-        self.metrics.response_stream.percentile(90.0)
+        self.metrics.response_time_ms.percentile_stream(90.0)
     }
 }
 
-/// Result of replaying a trace on an array.
+/// Result of replaying a workload on an array.
 #[derive(Debug, Clone)]
 pub struct ArrayRunResult {
-    /// Logical response times (ms).
-    pub response_time_ms: Summary,
+    /// Logical response times (ms), in the member drives' stats mode.
+    pub response_time_ms: ResponseStats,
     /// Logical response-time histogram over the paper's edges.
     pub response_hist: simkit::Histogram,
-    /// Bounded-memory streaming view of the logical response times.
-    pub response_stream: simkit::StreamingHistogram,
     /// Sum of the member drives' power breakdowns.
     pub power: PowerBreakdown,
     /// Wall-clock span of the run.
@@ -65,76 +73,77 @@ pub struct ArrayRunResult {
 }
 
 impl ArrayRunResult {
-    /// The 90th-percentile response time in milliseconds.
+    /// The 90th-percentile response time in milliseconds (exact when
+    /// the members ran in `StatsMode::Exact`).
     ///
-    /// The run loop finalizes the summary when the replay ends, so this
+    /// The run loop finalizes the stats when the replay ends, so this
     /// is an indexed read on a shared reference.
     pub fn p90_ms(&self) -> f64 {
         self.response_time_ms.percentile(90.0)
     }
 
-    /// The 90th percentile from the bounded-memory streaming histogram
-    /// — agrees with [`ArrayRunResult::p90_ms`] within the streaming
+    /// The 90th percentile from the bounded-memory streaming view —
+    /// agrees with [`ArrayRunResult::p90_ms`] within the streaming
     /// histogram's documented relative-error bound.
     pub fn p90_stream_ms(&self) -> f64 {
-        self.response_stream.percentile(90.0)
+        self.response_time_ms.percentile_stream(90.0)
     }
 }
 
-/// Replays `trace` against one drive.
+/// Replays a workload against one drive.
 pub fn run_drive(
     params: &DiskParams,
     config: DriveConfig,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
 ) -> Result<DriveRunResult, DriveError> {
-    run_drive_with_failures(params, config, trace, FailureSchedule::new())
+    run_drive_with_failures(params, config, workload, FailureSchedule::new())
 }
 
 /// [`run_drive`], recording the drive's telemetry events into `rec`.
 pub fn run_drive_traced<R: Recorder>(
     params: &DiskParams,
     config: DriveConfig,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
     rec: &mut R,
 ) -> Result<DriveRunResult, DriveError> {
-    run_drive_with_failures_traced(params, config, trace, FailureSchedule::new(), rec)
+    run_drive_with_failures_traced(params, config, workload, FailureSchedule::new(), rec)
 }
 
-/// Replays `trace` against one drive, applying a SMART failure schedule
-/// as simulated time passes (§8's graceful-degradation study).
+/// Replays a workload against one drive, applying a SMART failure
+/// schedule as simulated time passes (§8's graceful-degradation study).
 pub fn run_drive_with_failures(
     params: &DiskParams,
     config: DriveConfig,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
     failures: FailureSchedule,
 ) -> Result<DriveRunResult, DriveError> {
-    run_drive_with_failures_traced(params, config, trace, failures, &mut NullRecorder)
+    run_drive_with_failures_traced(params, config, workload, failures, &mut NullRecorder)
 }
 
 /// [`run_drive_with_failures`], recording telemetry events into `rec`.
 pub fn run_drive_with_failures_traced<R: Recorder>(
     params: &DiskParams,
     config: DriveConfig,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
     mut failures: FailureSchedule,
     rec: &mut R,
 ) -> Result<DriveRunResult, DriveError> {
+    let mut source = workload.into_source();
     let mut drive = DiskDrive::new(params, config);
     let mut completion: Option<SimTime> = None;
     let mut end = SimTime::ZERO;
-    let reqs = trace.requests();
-    let mut i = 0;
+    // One-request lookahead: the only workload state the loop holds.
+    let mut pending = source.next_request();
     loop {
-        let arrival = reqs.get(i).map(|r| r.arrival);
-        let take_arrival = match (arrival, completion) {
+        let take_arrival = match (pending.map(|r| r.arrival), completion) {
             (None, None) => break,
             (Some(a), Some(c)) => a <= c,
             (Some(_), None) => true,
             (None, Some(_)) => false,
         };
         if take_arrival {
-            let r = reqs[i];
-            i += 1;
+            let r = pending.take().expect("arrival pending");
+            pending = source.next_request();
             failures.apply_due(&mut drive, r.arrival);
             end = end.max(r.arrival);
             if let Some(f) = drive.submit_traced(r, r.arrival, rec)? {
@@ -156,16 +165,16 @@ pub fn run_drive_with_failures_traced<R: Recorder>(
     })
 }
 
-/// Replays `trace` against an array of `disks` drives of model
+/// Replays a workload against an array of `disks` drives of model
 /// `params`, each configured as `member`, laid out per `layout`.
 pub fn run_array(
     params: &DiskParams,
     member: DriveConfig,
     disks: usize,
     layout: Layout,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
 ) -> Result<ArrayRunResult, DriveError> {
-    run_array_traced(params, member, disks, layout, trace, &mut NullRecorder)
+    run_array_traced(params, member, disks, layout, workload, &mut NullRecorder)
 }
 
 /// [`run_array`], recording telemetry events into `rec`.
@@ -177,25 +186,25 @@ pub fn run_array_traced<R: Recorder>(
     member: DriveConfig,
     disks: usize,
     layout: Layout,
-    trace: &Trace,
+    workload: impl IntoRequestSource,
     rec: &mut R,
 ) -> Result<ArrayRunResult, DriveError> {
+    let mut source = workload.into_source();
     let mut array = ArrayController::new(params, member, disks, layout);
     let mut events: EventQueue<usize> = EventQueue::with_capacity(64);
     let mut end = SimTime::ZERO;
-    let reqs = trace.requests();
-    let mut i = 0;
+    // One-request lookahead: the only workload state the loop holds.
+    let mut pending = source.next_request();
     loop {
-        let arrival = reqs.get(i).map(|r| r.arrival);
-        let take_arrival = match (arrival, events.peek_time()) {
+        let take_arrival = match (pending.map(|r| r.arrival), events.peek_time()) {
             (None, None) => break,
             (Some(a), Some(e)) => a <= e,
             (Some(_), None) => true,
             (None, Some(_)) => false,
         };
         if take_arrival {
-            let r = reqs[i];
-            i += 1;
+            let r = pending.take().expect("arrival pending");
+            pending = source.next_request();
             end = end.max(r.arrival);
             for (disk, t) in array.submit_traced(r, r.arrival, rec)? {
                 events.push(t, disk);
@@ -217,7 +226,6 @@ pub fn run_array_traced<R: Recorder>(
     Ok(ArrayRunResult {
         response_time_ms: m.response_time_ms.clone(),
         response_hist: m.response_hist.clone(),
-        response_stream: m.response_stream.clone(),
         power: array.power_breakdown(),
         duration: end.saturating_since(SimTime::ZERO),
         completed: m.completed,
@@ -228,7 +236,7 @@ pub fn run_array_traced<R: Recorder>(
 mod tests {
     use super::*;
     use diskmodel::presets;
-    use workload::SyntheticSpec;
+    use workload::{SyntheticSpec, Trace};
 
     fn small_trace(mean_ms: f64, n: usize) -> Trace {
         SyntheticSpec::paper(mean_ms, 200_000_000, n).generate(11)
@@ -261,6 +269,26 @@ mod tests {
         .expect("replay succeeds");
         assert_eq!(r.completed, 2_000);
         assert!(r.power.total_w() > 0.0);
+    }
+
+    #[test]
+    fn lazy_source_matches_materialized_trace() {
+        // The core API-redesign oracle: streaming ingestion must be
+        // observationally identical to the materialized path.
+        let spec = SyntheticSpec::paper(6.0, 200_000_000, 3_000);
+        let trace = spec.generate(11);
+        let params = presets::barracuda_es_750gb();
+        let from_trace =
+            run_drive(&params, DriveConfig::sa(2), &trace).expect("replay succeeds");
+        let from_source =
+            run_drive(&params, DriveConfig::sa(2), spec.source(11)).expect("replay succeeds");
+        assert_eq!(from_trace.metrics.completed, from_source.metrics.completed);
+        assert_eq!(
+            from_trace.metrics.response_time_ms.mean(),
+            from_source.metrics.response_time_ms.mean()
+        );
+        assert_eq!(from_trace.p90_ms(), from_source.p90_ms());
+        assert_eq!(from_trace.duration, from_source.duration);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use intradisk::{DriveConfig, PowerBreakdown};
 use simkit::{Cdf, Pdf};
 use workload::WorkloadKind;
 
-use crate::configs::{hcsd_params, md_config, trace_for, Scale};
+use crate::configs::{hcsd_params, md_config, source_for, Scale};
 use crate::plan::{ExperimentPlan, Study};
 use crate::report;
 use crate::runner::{run_array, run_drive};
@@ -135,14 +135,13 @@ impl Study for SaStudy {
     fn run_point(&self, point: &SaPoint, scale: Scale) -> Result<SaOutput, DriveError> {
         match *point {
             SaPoint::Md(kind) => {
-                let trace = trace_for(kind, scale);
                 let cfg = md_config(kind);
                 let md = run_array(
                     &cfg.drive,
-                    DriveConfig::conventional(),
+                    DriveConfig::conventional().with_stats_mode(scale.stats),
                     cfg.disks,
                     cfg.layout,
-                    &trace,
+                    source_for(kind, scale),
                 )?;
                 Ok(SaOutput::Md {
                     kind,
@@ -151,8 +150,11 @@ impl Study for SaStudy {
                 })
             }
             SaPoint::Sa(kind, n) => {
-                let trace = trace_for(kind, scale);
-                let r = run_drive(&hcsd_params(), DriveConfig::sa(n), &trace)?;
+                let r = run_drive(
+                    &hcsd_params(),
+                    DriveConfig::sa(n).with_stats_mode(scale.stats),
+                    source_for(kind, scale),
+                )?;
                 Ok(SaOutput::Sa {
                     cdf: r.metrics.response_hist.cdf(),
                     pdf: r.metrics.rotational_hist.pdf(),

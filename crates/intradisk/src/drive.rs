@@ -11,7 +11,7 @@
 //! it has to move and wait.
 
 use diskmodel::{DiskParams, DriveError, PowerModel};
-use simkit::{SimDuration, SimTime};
+use simkit::{SimDuration, SimTime, StatsMode};
 use telemetry::{NullRecorder, PowerMode, Recorder, TraceEvent};
 
 use crate::cache::SegmentedCache;
@@ -42,6 +42,10 @@ pub struct DriveConfig {
     /// Heads per arm per surface (the taxonomy's H dimension; 1 for
     /// conventional drives and the paper's HC-SD-SA(n) designs).
     pub heads_per_arm: u32,
+    /// How latency statistics are collected: `Exact` keeps every sample
+    /// (the oracle, default); `Streaming` keeps bounded-memory sketches
+    /// so 10⁸-request runs don't grow with run length.
+    pub stats: StatsMode,
 }
 
 impl DriveConfig {
@@ -63,6 +67,7 @@ impl DriveConfig {
             window: DEFAULT_WINDOW,
             placement: ArmPlacement::EquallySpaced,
             heads_per_arm: 1,
+            stats: StatsMode::Exact,
         }
     }
 
@@ -103,6 +108,14 @@ impl DriveConfig {
     /// Replaces the arm-assembly placement (ablation knob).
     pub fn with_placement(mut self, placement: ArmPlacement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Replaces the statistics collection mode (use
+    /// [`StatsMode::Streaming`] for runs too large to keep every
+    /// sample).
+    pub fn with_stats_mode(mut self, stats: StatsMode) -> Self {
+        self.stats = stats;
         self
     }
 }
@@ -150,7 +163,7 @@ impl DiskDrive {
             cache: SegmentedCache::new(params.cache_mib()),
             arms,
             queue: PendingQueue::with_window(config.window),
-            metrics: DriveMetrics::new(config.actuators),
+            metrics: DriveMetrics::with_mode(config.actuators, config.stats),
             config,
             in_service: None,
             idle_since: SimTime::ZERO,

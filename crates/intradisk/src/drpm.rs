@@ -18,7 +18,7 @@
 //! a fixed low-RPM intra-disk parallel drive on the paper's workloads.
 
 use diskmodel::{DiskParams, PowerModel};
-use simkit::{SimDuration, SimTime, Summary};
+use simkit::{ResponseStats, SimDuration, SimTime};
 
 use crate::request::{IoKind, IoRequest};
 use crate::sched::{PendingQueue, QueuePolicy, DEFAULT_WINDOW};
@@ -54,7 +54,7 @@ impl DrpmConfig {
 #[derive(Debug, Clone)]
 pub struct DrpmResult {
     /// Response times, ms.
-    pub response_time_ms: Summary,
+    pub response_time_ms: ResponseStats,
     /// Completed requests.
     pub completed: u64,
     /// Total energy, joules.
@@ -108,7 +108,7 @@ pub fn replay(params: &DiskParams, config: DrpmConfig, requests: &[IoRequest]) -
         failed: false,
     };
     let mut queue = PendingQueue::with_window(DEFAULT_WINDOW);
-    let mut response = Summary::new();
+    let mut response = ResponseStats::exact();
     let mut energy_j = 0.0;
     let mut low_time = SimDuration::ZERO;
     let mut upshifts = 0u64;

@@ -7,7 +7,7 @@
 //! the four-mode time accounting that the power bars of Figures 3 and 6
 //! are built from.
 
-use simkit::{Histogram, ModeAccumulator, SimTime, StreamingHistogram, Summary};
+use simkit::{Histogram, ModeAccumulator, ResponseStats, SimTime, StatsMode};
 
 use crate::request::CompletedIo;
 
@@ -43,21 +43,20 @@ impl DriveMode {
 /// Statistics collected by one drive over one run.
 #[derive(Debug, Clone)]
 pub struct DriveMetrics {
-    /// Response times in milliseconds (queue + service).
-    pub response_time_ms: Summary,
+    /// Response times in milliseconds (queue + service). In
+    /// [`StatsMode::Exact`] every sample is retained (the oracle);
+    /// [`StatsMode::Streaming`] keeps a bounded-memory view with a
+    /// documented percentile error bound — the mode 10⁸-request runs
+    /// use. Either way `percentile_stream` is always available.
+    pub response_time_ms: ResponseStats,
     /// Response-time histogram over the paper's CDF edges.
     pub response_hist: Histogram,
-    /// Bounded-memory streaming view of the response times: O(buckets)
-    /// memory with a documented percentile error bound, the scalable
-    /// replacement for `response_time_ms` percentile reads on runs too
-    /// large to keep every sample.
-    pub response_stream: StreamingHistogram,
     /// Rotational latencies of media accesses, milliseconds.
-    pub rotational_ms: Summary,
+    pub rotational_ms: ResponseStats,
     /// Rotational-latency histogram over the paper's PDF edges.
     pub rotational_hist: Histogram,
     /// Seek times of media accesses, milliseconds.
-    pub seek_ms: Summary,
+    pub seek_ms: ResponseStats,
     /// Media accesses whose seek was non-zero (§7.2 reports 55% → 90%
     /// as actuators are added).
     pub nonzero_seeks: u64,
@@ -76,15 +75,21 @@ pub struct DriveMetrics {
 }
 
 impl DriveMetrics {
-    /// Creates empty metrics for a drive with `actuators` assemblies.
+    /// Creates empty metrics in [`StatsMode::Exact`] for a drive with
+    /// `actuators` assemblies.
     pub fn new(actuators: u32) -> Self {
+        Self::with_mode(actuators, StatsMode::Exact)
+    }
+
+    /// Creates empty metrics collecting response/latency statistics in
+    /// the given [`StatsMode`].
+    pub fn with_mode(actuators: u32, mode: StatsMode) -> Self {
         DriveMetrics {
-            response_time_ms: Summary::new(),
+            response_time_ms: ResponseStats::with_mode(mode),
             response_hist: Histogram::new(Histogram::paper_response_time_edges()),
-            response_stream: StreamingHistogram::new(),
-            rotational_ms: Summary::new(),
+            rotational_ms: ResponseStats::with_mode(mode),
             rotational_hist: Histogram::new(Histogram::paper_rotational_latency_edges()),
-            seek_ms: Summary::new(),
+            seek_ms: ResponseStats::with_mode(mode),
             nonzero_seeks: 0,
             media_accesses: 0,
             cache_hits: 0,
@@ -99,7 +104,6 @@ impl DriveMetrics {
         let rt = done.response_time().as_millis();
         self.response_time_ms.record(rt);
         self.response_hist.record(rt);
-        self.response_stream.record(rt);
         self.completed += 1;
         if done.cache_hit {
             self.cache_hits += 1;
@@ -137,12 +141,13 @@ impl DriveMetrics {
     }
 
     /// Merges metrics from another drive (used when summing over an
-    /// array).
+    /// array). Exact-mode stats merge exactly; if either side is
+    /// streaming, the merged stats are streaming.
     pub fn merge(&mut self, other: &DriveMetrics) {
-        // Summaries merge by re-recording; keep it simple and exact.
-        // (Histograms merge natively.)
+        self.response_time_ms.merge(&other.response_time_ms);
+        self.rotational_ms.merge(&other.rotational_ms);
+        self.seek_ms.merge(&other.seek_ms);
         self.response_hist.merge(&other.response_hist);
-        self.response_stream.merge(&other.response_stream);
         self.rotational_hist.merge(&other.rotational_hist);
         self.nonzero_seeks += other.nonzero_seeks;
         self.media_accesses += other.media_accesses;
@@ -304,12 +309,28 @@ mod tests {
         }
         m.finalize();
         let exact = m.response_time_ms.percentile(90.0);
-        let stream = m.response_stream.percentile(90.0);
+        let stream = m.response_time_ms.percentile_stream(90.0);
         assert!(
-            (stream - exact).abs() / exact <= m.response_stream.relative_error() + 1e-12,
+            (stream - exact).abs() / exact
+                <= m.response_time_ms.relative_error() + 1e-12,
             "stream {stream} vs exact {exact}"
         );
-        assert_eq!(m.response_stream.count(), m.response_time_ms.count() as u64);
+        assert_eq!(
+            m.response_time_ms.stream().count(),
+            m.response_time_ms.count() as u64
+        );
+    }
+
+    #[test]
+    fn streaming_mode_drops_samples_but_keeps_percentiles() {
+        let mut m = DriveMetrics::with_mode(1, StatsMode::Streaming);
+        for i in 0..200u64 {
+            m.record(&done(1.0 + i as f64 * 0.1, 1.0, 1.0, false));
+        }
+        assert!(!m.response_time_ms.is_exact());
+        assert_eq!(m.response_time_ms.count(), 200);
+        let p90 = m.response_time_ms.percentile(90.0);
+        assert!(p90 > 0.0 && p90 <= m.response_time_ms.max());
     }
 
     #[test]
@@ -322,5 +343,8 @@ mod tests {
         assert_eq!(a.completed, 2);
         assert_eq!(a.media_accesses, 2);
         assert_eq!(a.response_hist.total(), 2);
+        assert_eq!(a.response_time_ms.count(), 2);
+        assert!(a.response_time_ms.is_exact());
+        assert_eq!(a.response_time_ms.max(), 7.0);
     }
 }

@@ -4,12 +4,18 @@
 
 mod histogram;
 mod quantile;
+mod response;
 mod streamhist;
 mod summary;
 mod timeweight;
 
 pub use histogram::{Cdf, Histogram, Pdf};
 pub use quantile::P2Quantile;
+pub use response::{ResponseStats, StatsMode};
 pub use streamhist::StreamingHistogram;
+// `Summary` stays reachable as `stats::Summary` for oracle use (the
+// differential test suites compare streaming estimates against it),
+// but it is no longer re-exported at the crate root: production
+// response-time collection goes through `ResponseStats`.
 pub use summary::Summary;
 pub use timeweight::ModeAccumulator;

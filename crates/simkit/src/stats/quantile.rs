@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn agrees_with_exact_summary() {
         let mut q = P2Quantile::new(0.9);
-        let mut s = crate::Summary::new();
+        let mut s = crate::stats::Summary::new();
         let mut rng = Rng64::new(3);
         for _ in 0..50_000 {
             // Bimodal-ish: mixture of two uniforms.

@@ -1,0 +1,374 @@
+//! [`ResponseStats`]: the response-time accumulator of the data plane.
+//!
+//! Every simulator component that used to hold a raw
+//! [`Summary`](super::Summary) now holds a `ResponseStats`, which runs
+//! in one of two modes:
+//!
+//! * [`StatsMode::Exact`] — wraps a [`Summary`] (every sample kept,
+//!   exact percentiles) *and* the streaming histogram. This is the
+//!   oracle mode and the default: every report the `repro` binary
+//!   prints today keeps its byte-identical output because percentile
+//!   and moment reads delegate straight to the wrapped `Summary`.
+//! * [`StatsMode::Streaming`] — keeps only the bounded-memory
+//!   [`StreamingHistogram`](super::StreamingHistogram) plus exact
+//!   moments (count/sum/min/max and a Welford variance accumulator).
+//!   Memory is O(buckets) regardless of run length, which is what lets
+//!   a 10⁸-request replay finish in a fixed RSS budget. Percentiles
+//!   carry the histogram's documented relative-error bound (1% by
+//!   default).
+//!
+//! The two modes agree exactly on `count`, `mean`, `min`, `max`, and
+//! `sum`; percentiles agree within
+//! [`relative_error`](ResponseStats::relative_error). The policy
+//! (DESIGN.md, "Streaming data plane") is: exact mode for runs small
+//! enough to hold every sample (the default `repro` report scale), and
+//! streaming for scale runs, calibrated against an exact-mode run at a
+//! smaller request count.
+
+use super::streamhist::StreamingHistogram;
+use super::summary::Summary;
+
+/// How a [`ResponseStats`] stores its samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StatsMode {
+    /// Keep every sample: exact percentiles, O(samples) memory.
+    #[default]
+    Exact,
+    /// Bounded memory: streaming histogram + exact moments.
+    Streaming,
+}
+
+/// Response-time statistics with a selectable exact/streaming backend.
+///
+/// The accessor surface mirrors the old `Summary` API (`record`,
+/// `count`, `mean`, `min`, `max`, `percentile`, `stddev`, `finalize`)
+/// so a field-type migration is source-compatible; the streaming view
+/// is always available through [`percentile_stream`] and [`stream`].
+///
+/// [`percentile_stream`]: ResponseStats::percentile_stream
+/// [`stream`]: ResponseStats::stream
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseStats {
+    /// Present only in exact mode.
+    exact: Option<Summary>,
+    /// Always maintained: the bounded-memory view (also the exact
+    /// count/sum/min/max carrier in streaming mode).
+    stream: StreamingHistogram,
+    /// Welford running mean and M2, for streaming-mode stddev.
+    welford_mean: f64,
+    welford_m2: f64,
+}
+
+impl ResponseStats {
+    /// Creates an exact-mode accumulator (the oracle; default).
+    pub fn exact() -> Self {
+        Self::with_mode(StatsMode::Exact)
+    }
+
+    /// Creates a bounded-memory streaming accumulator.
+    pub fn streaming() -> Self {
+        Self::with_mode(StatsMode::Streaming)
+    }
+
+    /// Creates an accumulator in the given mode.
+    pub fn with_mode(mode: StatsMode) -> Self {
+        ResponseStats {
+            exact: match mode {
+                StatsMode::Exact => Some(Summary::new()),
+                StatsMode::Streaming => None,
+            },
+            stream: StreamingHistogram::new(),
+            welford_mean: 0.0,
+            welford_m2: 0.0,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> StatsMode {
+        if self.exact.is_some() {
+            StatsMode::Exact
+        } else {
+            StatsMode::Streaming
+        }
+    }
+
+    /// True if the exact sample store is present.
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN or negative (response times are
+    /// non-negative; a negative sample is an upstream unit bug).
+    // simlint: hot — per-completion stats path.
+    pub fn record(&mut self, value: f64) {
+        if let Some(s) = self.exact.as_mut() {
+            s.record(value);
+        }
+        self.stream.record(value);
+        let n = self.stream.count() as f64;
+        let delta = value - self.welford_mean;
+        self.welford_mean += delta / n;
+        self.welford_m2 += delta * (value - self.welford_mean);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.stream.count() as usize
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty (exact in both modes).
+    pub fn mean(&self) -> f64 {
+        match &self.exact {
+            Some(s) => s.mean(),
+            None => self.stream.mean(),
+        }
+    }
+
+    /// Smallest sample, or 0 if empty (exact in both modes).
+    pub fn min(&self) -> f64 {
+        match &self.exact {
+            Some(s) => s.min(),
+            None => self.stream.min(),
+        }
+    }
+
+    /// Largest sample, or 0 if empty (exact in both modes).
+    pub fn max(&self) -> f64 {
+        match &self.exact {
+            Some(s) => s.max(),
+            None => self.stream.max(),
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100, nearest rank), or 0 if
+    /// empty. Exact in exact mode; within
+    /// [`relative_error`](ResponseStats::relative_error) in streaming
+    /// mode.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        match &self.exact {
+            Some(s) => s.percentile(p),
+            None => self.stream.percentile(p),
+        }
+    }
+
+    /// The `p`-th percentile from the bounded-memory histogram,
+    /// regardless of mode — agrees with
+    /// [`percentile`](ResponseStats::percentile) within
+    /// [`relative_error`](ResponseStats::relative_error). In exact mode
+    /// this is the view the scale-calibration oracle checks against.
+    pub fn percentile_stream(&self, p: f64) -> f64 {
+        self.stream.percentile(p)
+    }
+
+    /// Sample standard deviation, or 0 with fewer than two samples.
+    /// Exact mode delegates to the sample store; streaming mode uses
+    /// the Welford accumulator (numerically stable, single pass).
+    pub fn stddev(&self) -> f64 {
+        match &self.exact {
+            Some(s) => s.stddev(),
+            None => {
+                let n = self.stream.count();
+                if n < 2 {
+                    0.0
+                } else {
+                    (self.welford_m2 / (n - 1) as f64).sqrt()
+                }
+            }
+        }
+    }
+
+    /// The relative-error bound of streaming-percentile reads.
+    pub fn relative_error(&self) -> f64 {
+        self.stream.relative_error()
+    }
+
+    /// Sorts the exact sample store (if present) so percentile queries
+    /// are indexed reads; a no-op in streaming mode. Run loops call
+    /// this once when a replay ends.
+    pub fn finalize(&mut self) {
+        if let Some(s) = self.exact.as_mut() {
+            s.finalize();
+        }
+    }
+
+    /// The bounded-memory histogram view (bucket export, error bound).
+    pub fn stream(&self) -> &StreamingHistogram {
+        &self.stream
+    }
+
+    /// Merges another accumulator into this one. The streaming view
+    /// merges exactly (counts, min/max, totals); the exact store
+    /// survives only if *both* sides carry one — merging a streaming
+    /// accumulator demotes the result to streaming, because the exact
+    /// percentiles can no longer be reconstructed.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        // Chan's parallel-variance update, computed before the counts
+        // move.
+        if other.stream.count() > 0 {
+            if self.stream.count() == 0 {
+                self.welford_mean = other.welford_mean;
+                self.welford_m2 = other.welford_m2;
+            } else {
+                let (na, nb) = (self.stream.count() as f64, other.stream.count() as f64);
+                let delta = other.welford_mean - self.welford_mean;
+                self.welford_mean = (na * self.welford_mean + nb * other.welford_mean) / (na + nb);
+                self.welford_m2 += other.welford_m2 + delta * delta * na * nb / (na + nb);
+            }
+        }
+        self.stream.merge(&other.stream);
+        match (&mut self.exact, &other.exact) {
+            (Some(a), Some(b)) => a.merge(b),
+            _ => self.exact = None,
+        }
+    }
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_mix(n: u64) -> impl Iterator<Item = f64> {
+        // Four decades, latency-shaped.
+        (1..=n).map(|i| 0.05 * (i as f64).powf(1.3))
+    }
+
+    #[test]
+    fn exact_mode_matches_raw_summary() {
+        let mut r = ResponseStats::exact();
+        let mut s = Summary::new();
+        for v in latency_mix(5_000) {
+            r.record(v);
+            s.record(v);
+        }
+        r.finalize();
+        s.finalize();
+        assert_eq!(r.count(), s.count());
+        assert_eq!(r.mean(), s.mean());
+        assert_eq!(r.min(), s.min());
+        assert_eq!(r.max(), s.max());
+        assert_eq!(r.stddev(), s.stddev());
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(r.percentile(p), s.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn streaming_mode_within_documented_bound() {
+        let mut stream = ResponseStats::streaming();
+        let mut exact = ResponseStats::exact();
+        for v in latency_mix(10_000) {
+            stream.record(v);
+            exact.record(v);
+        }
+        exact.finalize();
+        assert_eq!(stream.count(), exact.count());
+        assert_eq!(stream.min(), exact.min());
+        assert_eq!(stream.max(), exact.max());
+        assert!((stream.mean() - exact.mean()).abs() < 1e-9);
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let e = exact.percentile(p);
+            let s = stream.percentile(p);
+            assert!(
+                (s - e).abs() / e <= stream.relative_error() + 1e-12,
+                "p{p}: stream {s} vs exact {e}"
+            );
+        }
+        // stddev agrees to float tolerance (Welford vs two-pass).
+        assert!((stream.stddev() - exact.stddev()).abs() / exact.stddev() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_uses_bounded_memory_backend() {
+        let r = ResponseStats::streaming();
+        assert_eq!(r.mode(), StatsMode::Streaming);
+        assert!(!r.is_exact());
+        assert!(r.stream().buckets() < 1_200);
+    }
+
+    #[test]
+    fn empty_is_zeroes_in_both_modes() {
+        for mode in [StatsMode::Exact, StatsMode::Streaming] {
+            let r = ResponseStats::with_mode(mode);
+            assert!(r.is_empty());
+            assert_eq!(r.count(), 0);
+            assert_eq!(r.mean(), 0.0);
+            assert_eq!(r.min(), 0.0);
+            assert_eq!(r.max(), 0.0);
+            assert_eq!(r.percentile(90.0), 0.0);
+            assert_eq!(r.stddev(), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_exact_pair_stays_exact() {
+        let mut a = ResponseStats::exact();
+        let mut b = ResponseStats::exact();
+        let mut whole = ResponseStats::exact();
+        for (i, v) in latency_mix(2_000).enumerate() {
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert!(a.is_exact());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.percentile(90.0), whole.percentile(90.0));
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_streaming_demotes() {
+        let mut a = ResponseStats::exact();
+        let mut b = ResponseStats::streaming();
+        for v in latency_mix(100) {
+            a.record(v);
+            b.record(v * 2.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.mode(), StatsMode::Streaming);
+        assert_eq!(a.count(), 200);
+    }
+
+    #[test]
+    fn merge_variance_matches_single_stream() {
+        let mut a = ResponseStats::streaming();
+        let mut b = ResponseStats::streaming();
+        let mut whole = ResponseStats::streaming();
+        for (i, v) in latency_mix(3_000).enumerate() {
+            if i % 3 == 0 { a.record(v) } else { b.record(v) }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert!((a.stddev() - whole.stddev()).abs() / whole.stddev() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn percentile_stream_available_in_exact_mode() {
+        let mut r = ResponseStats::exact();
+        for v in latency_mix(1_000) {
+            r.record(v);
+        }
+        r.finalize();
+        let e = r.percentile(90.0);
+        let s = r.percentile_stream(90.0);
+        assert!((s - e).abs() / e <= r.relative_error() + 1e-12);
+    }
+}

@@ -1,9 +1,14 @@
 //! Sample summaries: streaming moments plus exact percentiles.
 //!
-//! [`Summary`] keeps every sample (the experiment runs are at most a few
-//! million requests, i.e. tens of megabytes), which lets it report exact
+//! [`Summary`] keeps every sample, which lets it report exact
 //! percentiles — Figure 8 is plotted in terms of the 90th percentile of
-//! the response time, so percentile accuracy matters.
+//! the response time, so percentile accuracy matters. That makes it
+//! O(samples) in memory, so it is no longer a public-facing accumulator:
+//! response-time collection goes through
+//! [`ResponseStats`](super::ResponseStats), which uses `Summary` as the
+//! exact-mode oracle on runs small enough to hold every sample and the
+//! bounded-memory [`StreamingHistogram`](super::StreamingHistogram)
+//! otherwise.
 //!
 //! Percentile queries take `&self`: a producer that is done recording
 //! calls [`Summary::finalize`] once (the simulators do this when a run
@@ -12,14 +17,28 @@
 //! copy, so readers never need mutable access.
 
 /// Collects `f64` samples and reports mean/min/max/percentiles.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
-    // simlint: allow(unbounded-sim-state) — deliberately O(samples):
-    // exact percentiles (Figure 8 gates on p90) require keeping every
-    // sample; the streaming alternative is stats::StreamingHistogram.
     samples: Vec<f64>,
     sum: f64,
+    /// Running extremes, updated in [`record`](Summary::record) —
+    /// `INFINITY`/`NEG_INFINITY` sentinels while empty so min/max reads
+    /// are O(1) instead of a fold over the sample store.
+    min: f64,
+    max: f64,
     sorted: bool,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            samples: Vec::new(),
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sorted: false,
+        }
+    }
 }
 
 impl Summary {
@@ -36,6 +55,31 @@ impl Summary {
         assert!(!value.is_nan(), "NaN sample");
         self.samples.push(value);
         self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sorted = false;
+    }
+
+    /// Discards every sample, returning the summary to its empty state
+    /// (the capacity of the sample store is kept for reuse).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.sorted = false;
+    }
+
+    /// Merges another summary's samples into this one (exact: the
+    /// result is as if every sample had been recorded here).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         self.sorted = false;
     }
 
@@ -58,21 +102,23 @@ impl Summary {
         }
     }
 
-    /// Smallest sample, or 0 if empty.
+    /// Smallest sample, or 0 if empty. O(1): tracked incrementally by
+    /// [`record`](Summary::record).
     pub fn min(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+            self.min
         }
     }
 
-    /// Largest sample, or 0 if empty.
+    /// Largest sample, or 0 if empty. O(1): tracked incrementally by
+    /// [`record`](Summary::record).
     pub fn max(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.max
         }
     }
 
@@ -221,5 +267,50 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut s = Summary::new();
+        for v in [3.0, -1.0, 9.0] {
+            s.record(v);
+        }
+        s.finalize();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        // Recording after clear starts fresh extremes.
+        s.record(5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for i in 0..100 {
+            let v = (i as f64) * 0.7 - 10.0;
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.percentile(90.0), whole.percentile(90.0));
+    }
+
+    #[test]
+    fn min_max_track_negatives_incrementally() {
+        let mut s = Summary::new();
+        s.record(-3.0);
+        s.record(2.0);
+        s.record(-7.5);
+        assert_eq!(s.min(), -7.5);
+        assert_eq!(s.max(), 2.0);
     }
 }

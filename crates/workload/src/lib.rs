@@ -1,7 +1,12 @@
 //! `workload` — the I/O request streams of the study.
 //!
-//! Three layers:
+//! Four layers:
 //!
+//! * [`source`] — the pull-based ingestion interface
+//!   ([`RequestSource`]): run loops pull one request at a time, so
+//!   generated workloads replay in O(1) memory and run size is bounded
+//!   by simulated time, not RAM. [`Trace`] plugs in through
+//!   [`IntoRequestSource`] for backward compatibility.
 //! * [`trace`] — the in-memory trace representation plus summary
 //!   statistics (read fraction, mean inter-arrival time, footprint).
 //! * [`arrival`] — arrival processes: Poisson (exponential
@@ -13,18 +18,24 @@
 //!   described (1M requests, 60% reads, 20% sequential, exponential
 //!   inter-arrivals of mean 8/4/1 ms). [`profiles`] provides calibrated
 //!   stand-ins for the four commercial traces of Table 2 — see
-//!   DESIGN.md for the substitution rationale.
+//!   DESIGN.md for the substitution rationale. Both expose lazy
+//!   `source(...)` constructors; `generate(...)` materializes.
 //! * [`spc`] — a parser for SPC-format trace files (the format the
 //!   UMass repository distributes the original Financial/Websearch
-//!   traces in), so the real traces can be replayed when available.
+//!   traces in), so the real traces can be replayed when available —
+//!   materialized ([`spc::read_trace`]) or streamed line by line
+//!   ([`spc::SpcSource`]).
 
 pub mod arrival;
 pub mod profiles;
+pub mod source;
 pub mod spc;
 pub mod synth;
 pub mod trace;
 
 pub use arrival::{ArrivalProcess, Mmpp};
-pub use profiles::{profile_for, TraceProfile, WorkloadKind};
-pub use synth::SyntheticSpec;
+pub use profiles::{profile_for, ProfileSource, TraceProfile, WorkloadKind};
+pub use source::{collect_trace, IntoRequestSource, RequestSource, TraceSource};
+pub use spc::SpcSource;
+pub use synth::{SynthSource, SyntheticSpec};
 pub use trace::{Trace, TraceStats};

@@ -26,6 +26,7 @@ use intradisk::{IoKind, IoRequest};
 use simkit::{Rng64, SimDuration, SimTime, Sample, Zipf};
 
 use crate::arrival::{ArrivalProcess, Mmpp};
+use crate::source::RequestSource;
 use crate::trace::Trace;
 
 /// Sectors per gigabyte (10^9 bytes, 512-byte sectors).
@@ -246,58 +247,122 @@ pub fn profile_for(kind: WorkloadKind) -> TraceProfile {
 }
 
 impl TraceProfile {
-    /// Generates `count` requests deterministically from `seed`.
+    /// A lazy [`RequestSource`] producing `count` requests
+    /// deterministically from `seed`, one at a time — O(1) state, so
+    /// scale runs never materialize the workload. Yields exactly the
+    /// requests [`generate`](TraceProfile::generate) would, in order.
     ///
-    /// The footprint is the workload's Table 2 dataset size; hot
-    /// extents are scattered across it.
-    pub fn generate(&self, count: usize, seed: u64) -> Trace {
+    /// The footprint is the workload's Table 2 dataset size.
+    pub fn source(&self, count: usize, seed: u64) -> ProfileSource {
         let footprint = self.kind.footprint_sectors();
         let extents = (footprint / self.extent_sectors).max(1);
         let zipf = Zipf::new(extents, self.zipf_exponent);
 
         let mut rng = Rng64::new(seed ^ self.kind.paper_request_count());
-        let mut arrival_rng = rng.fork();
-        let mut addr_rng = rng.fork();
-        let mut kind_rng = rng.fork();
-        let mut size_rng = rng.fork();
+        let arrival_rng = rng.fork();
+        let addr_rng = rng.fork();
+        let kind_rng = rng.fork();
+        let size_rng = rng.fork();
+        let sampler = self.arrival.sampler();
 
-        let mut sampler = self.arrival.sampler();
-        let mut t = SimTime::ZERO;
-        let mut prev_end = 0u64;
-        let mut reqs = Vec::with_capacity(count);
-        for id in 0..count as u64 {
-            t += SimDuration::from_millis(sampler.next_gap_ms(&mut arrival_rng));
-            let sectors = self.sizes.sample(&mut size_rng);
-            let lba = if id > 0 && addr_rng.chance(self.sequential_fraction) {
-                prev_end % footprint
-            } else {
-                let rank = zipf.sample(&mut addr_rng);
-                let extent = if self.scatter_hot_extents {
-                    // rank+1 so the hottest extent (rank 0) also lands
-                    // at a scattered position rather than extent 0.
-                    ((rank + 1).wrapping_mul(SCATTER)) % extents
-                } else {
-                    // Clustered: popularity decreases with address, so
-                    // the hot set is one compact band — the §1 practice
-                    // of packing hot data densely (short-stroking). On
-                    // a striped array the band still spreads evenly
-                    // over all member disks because the stripe unit is
-                    // far smaller than an extent.
-                    rank
-                };
-                let base = extent * self.extent_sectors;
-                let slots = (self.extent_sectors / sectors as u64).max(1);
-                base + addr_rng.below(slots) * sectors as u64
-            };
-            let kind = if kind_rng.chance(self.read_fraction) {
-                IoKind::Read
-            } else {
-                IoKind::Write
-            };
-            prev_end = lba + sectors as u64;
-            reqs.push(IoRequest::new(id, t, lba.min(footprint - 1), sectors, kind));
+        ProfileSource {
+            profile: self.clone(),
+            footprint,
+            extents,
+            zipf,
+            arrival_rng,
+            addr_rng,
+            kind_rng,
+            size_rng,
+            sampler,
+            t: SimTime::ZERO,
+            prev_end: 0,
+            next_id: 0,
+            count: count as u64,
         }
-        Trace::new(self.kind.name(), reqs, footprint)
+    }
+
+    /// Materializes `count` requests (thin wrapper over
+    /// [`source`](TraceProfile::source); small runs and tests).
+    pub fn generate(&self, count: usize, seed: u64) -> Trace {
+        crate::source::collect_trace(self.source(count, seed))
+    }
+}
+
+/// The lazy generator behind [`TraceProfile::source`].
+#[derive(Debug, Clone)]
+pub struct ProfileSource {
+    profile: TraceProfile,
+    footprint: u64,
+    extents: u64,
+    zipf: Zipf,
+    arrival_rng: Rng64,
+    addr_rng: Rng64,
+    kind_rng: Rng64,
+    size_rng: Rng64,
+    sampler: crate::arrival::ArrivalSampler,
+    t: SimTime,
+    prev_end: u64,
+    next_id: u64,
+    count: u64,
+}
+
+impl RequestSource for ProfileSource {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        if self.next_id >= self.count {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let p = &self.profile;
+        self.t += SimDuration::from_millis(self.sampler.next_gap_ms(&mut self.arrival_rng));
+        let sectors = p.sizes.sample(&mut self.size_rng);
+        let lba = if id > 0 && self.addr_rng.chance(p.sequential_fraction) {
+            self.prev_end % self.footprint
+        } else {
+            let rank = self.zipf.sample(&mut self.addr_rng);
+            let extent = if p.scatter_hot_extents {
+                // rank+1 so the hottest extent (rank 0) also lands
+                // at a scattered position rather than extent 0.
+                ((rank + 1).wrapping_mul(SCATTER)) % self.extents
+            } else {
+                // Clustered: popularity decreases with address, so
+                // the hot set is one compact band — the §1 practice
+                // of packing hot data densely (short-stroking). On
+                // a striped array the band still spreads evenly
+                // over all member disks because the stripe unit is
+                // far smaller than an extent.
+                rank
+            };
+            let base = extent * p.extent_sectors;
+            let slots = (p.extent_sectors / sectors as u64).max(1);
+            base + self.addr_rng.below(slots) * sectors as u64
+        };
+        let kind = if self.kind_rng.chance(p.read_fraction) {
+            IoKind::Read
+        } else {
+            IoKind::Write
+        };
+        self.prev_end = lba + sectors as u64;
+        Some(IoRequest::new(
+            id,
+            self.t,
+            lba.min(self.footprint - 1),
+            sectors,
+            kind,
+        ))
+    }
+
+    fn footprint_sectors(&self) -> u64 {
+        self.footprint
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.count - self.next_id)
+    }
+
+    fn name(&self) -> &str {
+        self.profile.kind.name()
     }
 }
 
@@ -424,5 +489,30 @@ mod tests {
     #[should_panic(expected = "empty size mix")]
     fn empty_mix_panics() {
         SizeMix::new(&[]);
+    }
+
+    #[test]
+    fn source_yields_exactly_the_generated_trace() {
+        for kind in WorkloadKind::ALL {
+            let p = profile_for(kind);
+            let trace = p.generate(3_000, 11);
+            let mut src = p.source(3_000, 11);
+            assert_eq!(src.len_hint(), Some(3_000));
+            assert_eq!(src.name(), trace.name());
+            assert_eq!(src.footprint_sectors(), trace.footprint_sectors());
+            for want in trace.requests() {
+                assert_eq!(src.next_request().as_ref(), Some(want), "{}", kind.name());
+            }
+            assert!(src.next_request().is_none());
+        }
+    }
+
+    #[test]
+    fn source_skip_matches_offset_pull() {
+        let p = profile_for(WorkloadKind::Financial);
+        let mut skipped = p.source(800, 13);
+        assert_eq!(skipped.skip(500), 500);
+        let trace = p.generate(800, 13);
+        assert_eq!(skipped.next_request().as_ref(), Some(&trace.requests()[500]));
     }
 }

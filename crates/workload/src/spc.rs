@@ -20,15 +20,28 @@
 //! them with `experiments::runner::run_drive`; the synthetic profiles
 //! in [`crate::profiles`] exist only because the originals are not
 //! redistributable.
+//!
+//! Two ingestion paths share the same parser:
+//!
+//! * [`read_trace`] materializes a [`Trace`] (small traces, tests).
+//! * [`SpcSource`] streams requests one line at a time through the
+//!   [`RequestSource`] pull interface — memory stays O(#ASUs)
+//!   regardless of trace length. [`SpcSource::from_path`] does the
+//!   required two passes over the file: a scan pass building the
+//!   [`AsuLayout`] (per-ASU sizes and bases need the whole file), then
+//!   the streaming pass.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::io::BufRead;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
 
 use intradisk::{IoKind, IoRequest};
 use simkit::SimTime;
 
+use crate::source::RequestSource;
 use crate::trace::Trace;
 
 /// One parsed SPC record, before address-space concatenation.
@@ -157,37 +170,247 @@ pub fn read_trace(
 
 /// Concatenates parsed records into a single-volume [`Trace`].
 pub fn concatenate(name: &str, records: &[SpcRecord], asu_align: u64) -> Trace {
-    assert!(asu_align > 0, "alignment must be positive");
-    // Size each ASU by its highest referenced sector.
-    let mut asu_size: BTreeMap<u32, u64> = BTreeMap::new();
-    for r in records {
-        let sectors = r.bytes.div_ceil(512);
-        let end = r.lba + sectors;
-        let e = asu_size.entry(r.asu).or_insert(0);
-        *e = (*e).max(end);
-    }
-    let mut asu_base: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut base = 0u64;
-    for (&asu, &size) in &asu_size {
-        asu_base.insert(asu, base);
-        base += size.div_ceil(asu_align) * asu_align;
-    }
-    let footprint = base.max(1);
+    let layout = AsuLayout::from_records(records, asu_align);
     let requests = records
         .iter()
         .enumerate()
-        .map(|(i, r)| {
-            let sectors = r.bytes.div_ceil(512).max(1) as u32;
-            IoRequest::new(
-                i as u64,
-                r.arrival,
-                asu_base[&r.asu] + r.lba,
-                sectors,
-                r.kind,
-            )
-        })
+        .map(|(i, r)| layout.place(i as u64, r))
         .collect();
-    Trace::new(name, requests, footprint)
+    Trace::new(name, requests, layout.footprint_sectors())
+}
+
+/// The concatenated address-space layout of a trace's ASUs: each ASU is
+/// sized to its largest referenced address, rounded up to `asu_align`
+/// sectors, and the ASUs are laid out back to back in ASU order.
+///
+/// Building the layout needs a full pass over the trace (an ASU's size
+/// is only known at the end), but the layout itself is O(#ASUs) — this
+/// is what lets [`SpcSource`] stream arbitrarily long traces in bounded
+/// memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsuLayout {
+    bases: BTreeMap<u32, u64>,
+    footprint: u64,
+}
+
+impl AsuLayout {
+    /// Builds the layout from already-parsed records.
+    ///
+    /// # Panics
+    /// Panics if `asu_align == 0`.
+    pub fn from_records(records: &[SpcRecord], asu_align: u64) -> Self {
+        let mut sizes = BTreeMap::new();
+        records
+            .iter()
+            .for_each(|r| Self::observe(&mut sizes, r));
+        Self::from_sizes(sizes, asu_align)
+    }
+
+    /// Builds the layout by scanning an SPC reader line by line
+    /// (bounded memory: only per-ASU maxima are kept). Honors the same
+    /// comment/blank-line and `max_requests` rules as [`read_trace`],
+    /// so the layout matches what `read_trace` would compute.
+    ///
+    /// # Errors
+    /// Returns the first malformed line, or an I/O error at its line.
+    pub fn scan(
+        reader: impl BufRead,
+        asu_align: u64,
+        max_requests: Option<usize>,
+    ) -> Result<Self, ParseSpcError> {
+        assert!(asu_align > 0, "alignment must be positive");
+        let mut sizes = BTreeMap::new();
+        let mut seen = 0usize;
+        for (i, line) in reader.lines().enumerate() {
+            let lineno = i + 1;
+            let line = line.map_err(|e| ParseSpcError::new(lineno, format!("I/O error: {e}")))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            Self::observe(&mut sizes, &parse_line(trimmed, lineno)?);
+            seen += 1;
+            if max_requests.is_some_and(|max| seen >= max) {
+                break;
+            }
+        }
+        Ok(Self::from_sizes(sizes, asu_align))
+    }
+
+    fn observe(sizes: &mut BTreeMap<u32, u64>, r: &SpcRecord) {
+        let end = r.lba + r.bytes.div_ceil(512);
+        let e = sizes.entry(r.asu).or_insert(0);
+        *e = (*e).max(end);
+    }
+
+    fn from_sizes(sizes: BTreeMap<u32, u64>, asu_align: u64) -> Self {
+        assert!(asu_align > 0, "alignment must be positive");
+        let mut bases = BTreeMap::new();
+        let mut base = 0u64;
+        for (asu, size) in sizes {
+            bases.insert(asu, base);
+            base += size.div_ceil(asu_align) * asu_align;
+        }
+        AsuLayout {
+            bases,
+            footprint: base.max(1),
+        }
+    }
+
+    /// Concatenated base address of an ASU, if it appeared in the scan.
+    pub fn base(&self, asu: u32) -> Option<u64> {
+        self.bases.get(&asu).copied()
+    }
+
+    /// Total concatenated address space, sectors (at least 1).
+    pub fn footprint_sectors(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Maps a record into the concatenated space. ASUs absent from the
+    /// layout land at base 0 (cannot happen when the layout was built
+    /// from the same records).
+    fn place(&self, id: u64, r: &SpcRecord) -> IoRequest {
+        let sectors = r.bytes.div_ceil(512).max(1) as u32;
+        let base = self.base(r.asu).unwrap_or(0);
+        IoRequest::new(id, r.arrival, base + r.lba, sectors, r.kind)
+    }
+}
+
+/// A line-streaming [`RequestSource`] over an SPC reader: memory stays
+/// O(#ASUs) regardless of trace length, so multi-hundred-million-request
+/// traces replay without materializing.
+///
+/// Requires an [`AsuLayout`] built up front (see [`AsuLayout::scan`] or
+/// [`SpcSource::from_path`], which does both passes).
+///
+/// # Ordering
+///
+/// [`read_trace`] sorts after the fact, so it tolerates out-of-order
+/// timestamps; a stream cannot. Real SPC traces are time-ordered, and
+/// this source *clamps* any stray backwards timestamp up to the previous
+/// arrival to preserve the [`RequestSource`] nondecreasing contract. On
+/// a time-ordered trace the stream is record-for-record identical to
+/// `read_trace`.
+///
+/// # Errors
+///
+/// `next_request` has no error channel; a malformed line or I/O error
+/// ends the stream and is held for inspection via
+/// [`error`](SpcSource::error). Callers that validated the file during
+/// the layout scan will only ever see I/O errors here.
+#[derive(Debug)]
+pub struct SpcSource<R: BufRead> {
+    reader: R,
+    layout: AsuLayout,
+    name: String,
+    remaining: Option<u64>,
+    next_id: u64,
+    lineno: usize,
+    last_arrival: SimTime,
+    error: Option<ParseSpcError>,
+}
+
+impl<R: BufRead> SpcSource<R> {
+    /// Creates a streaming source over `reader` with a prebuilt layout.
+    /// At most `max_requests` requests are yielded if given.
+    pub fn new(reader: R, layout: AsuLayout, name: impl Into<String>, max_requests: Option<usize>) -> Self {
+        SpcSource {
+            reader,
+            layout,
+            name: name.into(),
+            remaining: max_requests.map(|m| m as u64),
+            next_id: 0,
+            lineno: 0,
+            last_arrival: SimTime::ZERO,
+            error: None,
+        }
+    }
+
+    /// The parse or I/O error that ended the stream, if any.
+    pub fn error(&self) -> Option<&ParseSpcError> {
+        self.error.as_ref()
+    }
+
+    /// The layout the source maps ASUs through.
+    pub fn layout(&self) -> &AsuLayout {
+        &self.layout
+    }
+}
+
+impl SpcSource<BufReader<File>> {
+    /// Opens an SPC trace file for streaming replay: pass one scans the
+    /// file to build the [`AsuLayout`] (validating every line), pass two
+    /// streams requests from a fresh reader. Peak memory is O(#ASUs).
+    ///
+    /// # Errors
+    /// Returns the first malformed line or the I/O error that
+    /// interrupted either pass.
+    pub fn from_path(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        asu_align: u64,
+        max_requests: Option<usize>,
+    ) -> Result<Self, ParseSpcError> {
+        let path = path.as_ref();
+        let open = |p: &Path| {
+            File::open(p)
+                .map(BufReader::new)
+                .map_err(|e| ParseSpcError::new(0, format!("open {}: {e}", p.display())))
+        };
+        let layout = AsuLayout::scan(open(path)?, asu_align, max_requests)?;
+        Ok(SpcSource::new(open(path)?, layout, name, max_requests))
+    }
+}
+
+impl<R: BufRead> RequestSource for SpcSource<R> {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        if self.error.is_some() || self.remaining == Some(0) {
+            return None;
+        }
+        let mut line = String::new();
+        loop {
+            self.lineno += 1;
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.error =
+                        Some(ParseSpcError::new(self.lineno, format!("I/O error: {e}")));
+                    return None;
+                }
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let record = match parse_line(trimmed, self.lineno) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            };
+            let mut req = self.layout.place(self.next_id, &record);
+            // Clamp stray backwards timestamps (see type docs).
+            req.arrival = req.arrival.max(self.last_arrival);
+            self.last_arrival = req.arrival;
+            self.next_id += 1;
+            if let Some(rem) = &mut self.remaining {
+                *rem -= 1;
+            }
+            return Some(req);
+        }
+    }
+
+    fn footprint_sectors(&self) -> u64 {
+        self.layout.footprint
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +511,79 @@ mod tests {
         let r = parse_line("0,9,100,r,0.0", 1).unwrap();
         let t = concatenate("s", &[r], 1);
         assert_eq!(t.requests()[0].sectors, 1);
+    }
+
+    #[test]
+    fn streaming_source_matches_read_trace() {
+        // The golden: on a time-ordered trace, the streaming path yields
+        // record-for-record what the materializing path produces.
+        for align in [1u64, 4096] {
+            let trace = read_trace(Cursor::new(SAMPLE), "s", align, None).unwrap();
+            let layout = AsuLayout::scan(Cursor::new(SAMPLE), align, None).unwrap();
+            let mut src = SpcSource::new(Cursor::new(SAMPLE), layout, "s", None);
+            assert_eq!(src.footprint_sectors(), trace.footprint_sectors());
+            assert_eq!(src.name(), "s");
+            for want in trace.requests() {
+                assert_eq!(src.next_request().as_ref(), Some(want), "align {align}");
+            }
+            assert!(src.next_request().is_none());
+            assert!(src.error().is_none());
+        }
+    }
+
+    #[test]
+    fn streaming_source_honors_max_requests() {
+        let layout = AsuLayout::scan(Cursor::new(SAMPLE), 1, Some(2)).unwrap();
+        let mut src = SpcSource::new(Cursor::new(SAMPLE), layout, "s", Some(2));
+        assert!(src.next_request().is_some());
+        assert!(src.next_request().is_some());
+        assert!(src.next_request().is_none());
+    }
+
+    #[test]
+    fn streaming_source_clamps_backwards_timestamps() {
+        let unordered = "0,0,512,r,1.0\n0,8,512,r,0.5\n";
+        let layout = AsuLayout::scan(Cursor::new(unordered), 1, None).unwrap();
+        let mut src = SpcSource::new(Cursor::new(unordered), layout, "s", None);
+        let a = src.next_request().unwrap();
+        let b = src.next_request().unwrap();
+        assert_eq!(b.arrival, a.arrival, "clamped up to the previous arrival");
+    }
+
+    #[test]
+    fn streaming_source_surfaces_parse_errors() {
+        let bad = "0,1,512,r,0.0\n0,1,512,BAD,0.1\n";
+        let layout = AsuLayout::scan(Cursor::new("0,1,512,r,0.0\n"), 1, None).unwrap();
+        let mut src = SpcSource::new(Cursor::new(bad), layout, "s", None);
+        assert!(src.next_request().is_some());
+        assert!(src.next_request().is_none());
+        assert_eq!(src.error().map(ParseSpcError::line), Some(2));
+        // The stream stays ended.
+        assert!(src.next_request().is_none());
+    }
+
+    #[test]
+    fn from_path_streams_a_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("spc_source_test_fixture.trace");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let trace = read_trace(Cursor::new(SAMPLE), "f", 1, None).unwrap();
+        let mut src = SpcSource::from_path(&path, "f", 1, None).unwrap();
+        for want in trace.requests() {
+            assert_eq!(src.next_request().as_ref(), Some(want));
+        }
+        assert!(src.next_request().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn layout_bases_and_footprint() {
+        let layout = AsuLayout::scan(Cursor::new(SAMPLE), 1, None).unwrap();
+        assert_eq!(layout.base(0), Some(0));
+        // ASU 0's furthest reference ends at 1000 + 8 = 1008; ASU 1
+        // starts right after.
+        assert_eq!(layout.base(1), Some(1008));
+        assert_eq!(layout.base(7), None);
+        assert_eq!(layout.footprint_sectors(), 1008 + 2016);
     }
 }

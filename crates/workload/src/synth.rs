@@ -11,6 +11,7 @@
 use intradisk::{IoKind, IoRequest};
 use simkit::{Rng64, SimDuration, SimTime};
 
+use crate::source::RequestSource;
 use crate::trace::Trace;
 
 /// Specification of a §7.3 synthetic workload.
@@ -50,45 +51,91 @@ impl SyntheticSpec {
         }
     }
 
-    /// Generates the trace deterministically from `seed`.
-    pub fn generate(&self, seed: u64) -> Trace {
+    /// A lazy [`RequestSource`] drawing the workload deterministically
+    /// from `seed`: requests are produced one at a time from the forked
+    /// RNG streams, so a 10⁸-request run never materializes the
+    /// workload. Yields exactly the requests
+    /// [`generate`](SyntheticSpec::generate) would, in the same order.
+    pub fn source(&self, seed: u64) -> SynthSource {
         assert!(
             (0.0..=1.0).contains(&self.read_fraction)
                 && (0.0..=1.0).contains(&self.sequential_fraction),
             "fractions out of range"
         );
         let mut rng = Rng64::new(seed);
-        let mut arrival_rng = rng.fork();
-        let mut addr_rng = rng.fork();
-        let mut kind_rng = rng.fork();
-
-        let mut t = SimTime::ZERO;
-        let mut prev_end: u64 = 0;
-        let mut reqs = Vec::with_capacity(self.requests);
-        for id in 0..self.requests as u64 {
-            let gap = -self.mean_interarrival_ms * arrival_rng.f64_open().ln();
-            t += SimDuration::from_millis(gap);
-            let sequential = id > 0 && addr_rng.chance(self.sequential_fraction);
-            let lba = if sequential {
-                prev_end % self.footprint_sectors
-            } else {
-                // Align to the request size, as filesystems do.
-                let slots = (self.footprint_sectors / self.sectors as u64).max(1);
-                addr_rng.below(slots) * self.sectors as u64
-            };
-            let kind = if kind_rng.chance(self.read_fraction) {
-                IoKind::Read
-            } else {
-                IoKind::Write
-            };
-            prev_end = lba + self.sectors as u64;
-            reqs.push(IoRequest::new(id, t, lba, self.sectors, kind));
+        let arrival_rng = rng.fork();
+        let addr_rng = rng.fork();
+        let kind_rng = rng.fork();
+        SynthSource {
+            spec: *self,
+            name: format!("synthetic-{}ms", self.mean_interarrival_ms),
+            arrival_rng,
+            addr_rng,
+            kind_rng,
+            t: SimTime::ZERO,
+            prev_end: 0,
+            next_id: 0,
         }
-        Trace::new(
-            format!("synthetic-{}ms", self.mean_interarrival_ms),
-            reqs,
-            self.footprint_sectors,
-        )
+    }
+
+    /// Materializes the whole workload (thin wrapper over
+    /// [`source`](SyntheticSpec::source); small runs and tests).
+    pub fn generate(&self, seed: u64) -> Trace {
+        crate::source::collect_trace(self.source(seed))
+    }
+}
+
+/// The lazy generator behind [`SyntheticSpec::source`]: O(1) state —
+/// three RNG streams, a clock, and the previous request's end address.
+#[derive(Debug, Clone)]
+pub struct SynthSource {
+    spec: SyntheticSpec,
+    name: String,
+    arrival_rng: Rng64,
+    addr_rng: Rng64,
+    kind_rng: Rng64,
+    t: SimTime,
+    prev_end: u64,
+    next_id: u64,
+}
+
+impl RequestSource for SynthSource {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        if self.next_id >= self.spec.requests as u64 {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let spec = &self.spec;
+        let gap = -spec.mean_interarrival_ms * self.arrival_rng.f64_open().ln();
+        self.t += SimDuration::from_millis(gap);
+        let sequential = id > 0 && self.addr_rng.chance(spec.sequential_fraction);
+        let lba = if sequential {
+            self.prev_end % spec.footprint_sectors
+        } else {
+            // Align to the request size, as filesystems do.
+            let slots = (spec.footprint_sectors / spec.sectors as u64).max(1);
+            self.addr_rng.below(slots) * spec.sectors as u64
+        };
+        let kind = if self.kind_rng.chance(spec.read_fraction) {
+            IoKind::Read
+        } else {
+            IoKind::Write
+        };
+        self.prev_end = lba + spec.sectors as u64;
+        Some(IoRequest::new(id, self.t, lba, spec.sectors, kind))
+    }
+
+    fn footprint_sectors(&self) -> u64 {
+        self.spec.footprint_sectors
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.spec.requests as u64 - self.next_id)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -149,5 +196,31 @@ mod tests {
             .requests()
             .windows(2)
             .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn source_yields_exactly_the_generated_trace() {
+        let spec = SyntheticSpec::paper(4.0, FOOTPRINT, 2_000);
+        let trace = spec.generate(6);
+        let mut src = spec.source(6);
+        assert_eq!(src.len_hint(), Some(2_000));
+        assert_eq!(src.name(), trace.name());
+        assert_eq!(src.footprint_sectors(), trace.footprint_sectors());
+        for want in trace.requests() {
+            assert_eq!(src.next_request().as_ref(), Some(want));
+        }
+        assert!(src.next_request().is_none());
+    }
+
+    #[test]
+    fn source_skip_matches_offset_pull() {
+        let spec = SyntheticSpec::paper(1.0, FOOTPRINT, 500);
+        let mut skipped = spec.source(9);
+        assert_eq!(skipped.skip(200), 200);
+        let trace = spec.generate(9);
+        assert_eq!(
+            skipped.next_request().as_ref(),
+            Some(&trace.requests()[200])
+        );
     }
 }

@@ -52,6 +52,12 @@ impl Trace {
         self.footprint_sectors
     }
 
+    /// A pull-based cursor over the trace
+    /// ([`RequestSource`](crate::RequestSource) backward compat).
+    pub fn source(&self) -> crate::source::TraceSource<'_> {
+        crate::source::TraceSource::new(self)
+    }
+
     /// Computes summary statistics.
     pub fn stats(&self) -> TraceStats {
         let n = self.requests.len();

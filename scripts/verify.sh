@@ -11,8 +11,10 @@
 # trace-export determinism check (every `--trace` file byte-identical
 # across runs and --jobs values), the metrics-export and `repro report`
 # determinism checks (every `--metrics` file and the rendered
-# report.html byte-identical across runs and --jobs values), and then
-# the event-kernel swap gates (report and exports byte-identical to
+# report.html byte-identical across runs and --jobs values), the
+# bounded-RSS gate (a 10^7-request streaming-stats run must stay under
+# a fixed memory budget, proving request count never reaches peak
+# memory), and then the event-kernel swap gates (report and exports byte-identical to
 # the goldens pinned on the retired binary-heap kernel, the named
 # kernel-swap golden oracles, the differential property suite, and a
 # throughput floor: the timing wheel must not be slower than the
@@ -73,6 +75,20 @@ cmp "$sweep_dir/m1/report.html" "$sweep_dir/m2/report.html"
 
 echo "==> gate: BENCH_*.json schema (scripts/bench_summary.sh)"
 scripts/bench_summary.sh >/dev/null
+
+echo "==> gate: bounded-RSS 10^7-request streaming run (budget 65536 kB)"
+# The streaming data plane's contract: request count must not reach
+# peak memory. The repro binary prints its own VmHWM (from
+# /proc/self/status — the container has no /usr/bin/time) to stderr;
+# exact mode at this scale needs ~450 MB, streaming ~3.3 MB
+# (BENCH_scale.json), so a 64 MB budget catches any re-materialization.
+target/release/repro scale --requests 10000000 --stats streaming \
+  > "$sweep_dir/scale.out" 2> "$sweep_dir/scale.err"
+grep -q "completed 10000000" "$sweep_dir/scale.out"
+rss_kb=$(sed -n 's/^\[max-rss-kb: \([0-9]*\)\]$/\1/p' "$sweep_dir/scale.err")
+echo "    max RSS ${rss_kb} kB"
+test -n "$rss_kb" && test "$rss_kb" -le 65536 \
+  || { echo "streaming 10^7 run exceeded the 65536 kB RSS budget" >&2; exit 1; }
 
 echo "==> gate: kernel-swap golden oracles (ignored-by-default, run here by name)"
 cargo test -q --test oracles -- --include-ignored golden_kernel_swap

@@ -278,7 +278,7 @@ fn stream_p90_agrees_with_exact_summary_p90() {
             .expect("replay succeeds");
         let exact = r.p90_ms();
         let stream = r.p90_stream_ms();
-        let bound = r.metrics.response_stream.relative_error();
+        let bound = r.metrics.response_time_ms.relative_error();
         assert!(
             (stream - exact).abs() <= bound * exact + 1e-9,
             "SA({actuators}): streaming p90 {stream} vs exact {exact} exceeds bound {bound}"

@@ -453,6 +453,131 @@ fn oracle_wheel_replays_array_pop_for_pop_identically_to_heap() {
     assert!(heap.lines().count() > 3_000, "replay actually popped events");
 }
 
+// ------------------------------------------ streaming-ingestion oracles
+
+/// Debug-renders one drive replay and one RAID-5 array replay —
+/// shortest-round-trip `f64` formatting, so byte-equal renderings mean
+/// bit-identical results.
+fn ingestion_fingerprint(d: DriveRunResult, a: ArrayRunResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "drive {:?} {:?} {:?}", d.metrics, d.power, d.duration).expect("write to string");
+    writeln!(
+        out,
+        "array {:?} {:?} {:?} {:?} {}",
+        a.response_time_ms, a.response_hist, a.power, a.duration, a.completed
+    )
+    .expect("write to string");
+    out
+}
+
+#[test]
+fn oracle_lazy_source_replays_byte_identical_to_materialized_trace() {
+    // The ingestion contract: `run_drive`/`run_array` accept any
+    // `IntoRequestSource`, and a lazy generator-backed source must be
+    // observationally indistinguishable from the materialized `Trace`
+    // it would collect into — every metric bit-for-bit.
+    let params = presets::barracuda_es_750gb();
+    let spec = SyntheticSpec::paper(5.0, params.capacity_sectors(), 3_000);
+    let t = spec.generate(23);
+    let layout = array::Layout::raid5_default;
+    let from_trace = ingestion_fingerprint(
+        run_drive(&params, DriveConfig::sa(4), &t),
+        run_array(&params, DriveConfig::sa(2), 4, layout(), &t),
+    );
+    let from_source = ingestion_fingerprint(
+        experiments::run_drive(&params, DriveConfig::sa(4), spec.source(23))
+            .expect("replay succeeds"),
+        experiments::run_array(&params, DriveConfig::sa(2), 4, layout(), spec.source(23))
+            .expect("replay succeeds"),
+    );
+    assert_eq!(
+        from_trace.as_bytes(),
+        from_source.as_bytes(),
+        "lazy source diverged from materialized trace:\n--- trace ---\n{from_trace}\n--- source ---\n{from_source}"
+    );
+}
+
+#[test]
+fn oracle_spc_streaming_replay_matches_materialized_replay() {
+    // The SPC reader's two ingestion paths — `read_trace` (materialize,
+    // then replay) and `SpcSource::from_path` (stream line-by-line) —
+    // must drive the simulator to bit-identical metrics on a
+    // time-ordered trace with comments, blank lines, and multiple ASUs.
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    use workload::RequestSource as _;
+
+    let mut spc = String::from("# synthetic SPC fixture\n\n");
+    for i in 0..600u64 {
+        writeln!(
+            spc,
+            "{},{},{},{},{:.4}",
+            i % 3,
+            (i * 37) % 5_000,
+            512 * (1 + i % 8),
+            if i % 5 == 0 { "w" } else { "r" },
+            i as f64 * 0.002
+        )
+        .expect("write to string");
+    }
+    let path = std::env::temp_dir().join(format!("spc-oracle-{}.trace", std::process::id()));
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(spc.as_bytes()))
+        .expect("write fixture");
+
+    let params = presets::barracuda_es_750gb();
+    let file = std::fs::File::open(&path).expect("open fixture");
+    let trace = workload::spc::read_trace(std::io::BufReader::new(file), "spc", 1, None)
+        .expect("fixture parses");
+    let materialized = run_drive(&params, DriveConfig::sa(2), &trace);
+
+    let source = workload::SpcSource::from_path(&path, "spc", 1, None).expect("fixture parses");
+    assert_eq!(source.len_hint(), None, "SPC streams without a length hint");
+    let streamed = experiments::run_drive(&params, DriveConfig::sa(2), source)
+        .expect("replay succeeds");
+    std::fs::remove_file(&path).expect("fixture cleanup");
+
+    assert_eq!(streamed.metrics.completed, 600);
+    let a = format!("{:?} {:?} {:?}", materialized.metrics, materialized.power, materialized.duration);
+    let b = format!("{:?} {:?} {:?}", streamed.metrics, streamed.power, streamed.duration);
+    assert_eq!(a, b, "streamed SPC replay diverged from materialized replay");
+}
+
+#[test]
+fn oracle_streaming_stats_mode_preserves_the_simulation() {
+    // `StatsMode` only changes how latencies are *recorded*: the
+    // simulation itself — completion count, duration, power, histograms
+    // and streamed percentiles — must be identical, and the streamed
+    // p90 must sit within the histogram's guaranteed relative error of
+    // the exact p90.
+    let params = presets::barracuda_es_750gb();
+    let t = trace(5.0, 4_000, 29);
+    let exact = run_drive(&params, DriveConfig::sa(2), &t);
+    let stream = run_drive(
+        &params,
+        DriveConfig::sa(2).with_stats_mode(simkit::StatsMode::Streaming),
+        &t,
+    );
+    assert!(exact.metrics.response_time_ms.is_exact());
+    assert!(!stream.metrics.response_time_ms.is_exact());
+    assert_eq!(exact.metrics.completed, stream.metrics.completed);
+    assert_eq!(exact.duration, stream.duration);
+    assert_eq!(exact.power.total_w(), stream.power.total_w());
+    assert_eq!(
+        format!("{:?}", exact.metrics.response_hist),
+        format!("{:?}", stream.metrics.response_hist)
+    );
+    assert_eq!(exact.p90_stream_ms(), stream.p90_stream_ms());
+    let p90_exact = exact.metrics.response_time_ms.percentile(90.0);
+    let p90_stream = stream.metrics.response_time_ms.percentile_stream(90.0);
+    let tol = stream.metrics.response_time_ms.relative_error();
+    assert!(
+        (p90_stream - p90_exact).abs() <= p90_exact * tol,
+        "streamed p90 {p90_stream:.4} vs exact {p90_exact:.4} exceeds bound {tol}"
+    );
+}
+
 /// Minimal SHA-256 (FIPS 180-4), here so the export-hash golden needs
 /// no dependency and no external `sha256sum` binary.
 mod sha256 {
