@@ -1,0 +1,55 @@
+//! Cold-vs-warm throughput of the design-space explorer's point cache.
+//!
+//! A cold pass simulates every coarse-grid point and fills the
+//! content-addressed cache; a warm pass serves the identical sweep
+//! from disk records alone. The gap between the two medians is the
+//! cache's value proposition — BENCH_explore.json records it, and the
+//! byte-identity oracle in tests/explore.rs is the correctness gate.
+//!
+//! ```text
+//! cargo bench -p bench --bench explore
+//! ```
+
+use bench::bench;
+use experiments::Executor;
+use explorer::{explore, Coverage, ExploreOptions, GridResolution, LatencyAxis, PointCache, SweepScale};
+
+const REQUESTS: usize = 300;
+
+fn opts(cache: Option<PointCache>) -> ExploreOptions {
+    ExploreOptions {
+        scale: SweepScale { requests: REQUESTS, ..SweepScale::default() },
+        coverage: Coverage::Coarse,
+        latency: LatencyAxis::P90,
+        cache,
+    }
+}
+
+fn main() {
+    let root = std::env::temp_dir().join("bench-explore-cache");
+    let exec = Executor::serial();
+    let points = explorer::space::grid(GridResolution::Coarse, opts(None).scale).len();
+    println!("{{\"explore_points\":{points},\"requests_per_point\":{REQUESTS}}}");
+
+    // Cold: every sample starts from an empty cache (the removal is
+    // inside the timed region but is noise next to the simulations).
+    let cold = bench("explore_coarse_cold", 0, 3, || {
+        let _ = std::fs::remove_dir_all(&root);
+        let out = explore(&opts(Some(PointCache::new(&root))), &exec).expect("explore runs");
+        assert_eq!(out.executed, points, "cold pass simulates everything");
+        out.executed
+    });
+
+    // Warm: the last cold sample left every record in place.
+    let warm = bench("explore_coarse_warm", 1, 5, || {
+        let out = explore(&opts(Some(PointCache::new(&root))), &exec).expect("explore runs");
+        assert_eq!(out.cached, points, "warm pass simulates nothing");
+        out.cached
+    });
+
+    println!(
+        "{{\"warm_speedup\":{:.1}}}",
+        cold.median_ns / warm.median_ns.max(1.0)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -27,8 +27,8 @@
 //! paper's plots. The `repro` binary drives everything:
 //!
 //! ```text
-//! cargo run --release -p experiments --bin repro -- all --jobs 4
-//! cargo run --release -p experiments --bin repro -- fig5 --requests 200000
+//! cargo run --release -p explorer --bin repro -- all --jobs 4
+//! cargo run --release -p explorer --bin repro -- fig5 --requests 200000
 //! ```
 
 pub mod bottleneck;

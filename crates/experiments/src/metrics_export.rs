@@ -183,8 +183,32 @@ pub fn export_metrics(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportErr
     Ok(files)
 }
 
-/// Reads every `*.metrics.json` under `dir` and writes
-/// `<dir>/report.html`. Returns the report path.
+/// Loads `<dir>/explore.json` if present, validating its schema tag.
+/// Absent file → `Ok(None)`; present-but-invalid → typed error (a
+/// half-written explore export should fail loudly, not vanish).
+fn load_explore(dir: &Path) -> Result<Option<jsonv::Value>, ExportError> {
+    let path = dir.join("explore.json");
+    let body = match fs::read_to_string(&path) {
+        Ok(body) => body,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(source) => return Err(io_err(&path, "read")(source)),
+    };
+    let json = jsonv::parse(&body).map_err(|e| ExportError::InvalidInput {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    if json.get("schema").and_then(jsonv::Value::as_str) != Some(report::EXPLORE_SCHEMA) {
+        return Err(ExportError::InvalidInput {
+            path,
+            message: format!("missing or unknown schema tag (want {})", report::EXPLORE_SCHEMA),
+        });
+    }
+    Ok(Some(json))
+}
+
+/// Reads every `*.metrics.json` under `dir` — plus `explore.json` if
+/// the design-space explorer left one — and writes `<dir>/report.html`.
+/// Returns the report path.
 pub fn write_report(dir: &Path) -> Result<PathBuf, ExportError> {
     let entries = fs::read_dir(dir).map_err(io_err(dir, "read"))?;
     let mut inputs = Vec::new();
@@ -222,13 +246,15 @@ pub fn write_report(dir: &Path) -> Result<PathBuf, ExportError> {
             .to_string();
         inputs.push(report::ReportInput { name, json });
     }
-    if inputs.is_empty() {
+    let explore = load_explore(dir)?;
+    if inputs.is_empty() && explore.is_none() {
         return Err(ExportError::NoInputs {
             dir: dir.to_path_buf(),
         });
     }
     let out = dir.join("report.html");
-    fs::write(&out, report::render_html(&inputs)).map_err(io_err(&out, "write"))?;
+    fs::write(&out, report::render_html_with_explore(&inputs, explore.as_ref()))
+        .map_err(io_err(&out, "write"))?;
     Ok(out)
 }
 
@@ -260,6 +286,29 @@ mod tests {
         let err = write_report(&dir).expect_err("must fail");
         assert!(matches!(err, ExportError::NoInputs { .. }));
         assert!(err.to_string().contains("no *.metrics.json"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_from_explore_json_alone() {
+        let dir = std::env::temp_dir().join("metrics-report-explore-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(
+            dir.join("explore.json"),
+            format!(
+                "{{\"schema\":\"{}\",\"latency_axis\":\"p90\",\"points\":[],\"frontier\":[]}}",
+                report::EXPLORE_SCHEMA
+            ),
+        )
+        .expect("write");
+        let path = write_report(&dir).expect("report renders without metrics inputs");
+        let html = fs::read_to_string(path).expect("report exists");
+        assert!(html.contains("Pareto"));
+
+        fs::write(dir.join("explore.json"), "{\"schema\":\"wrong\"}").expect("write");
+        let err = write_report(&dir).expect_err("bad schema must fail");
+        assert!(matches!(err, ExportError::InvalidInput { .. }));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -7,6 +7,9 @@
 //! repro spc FILE [--actuators N] [--requests N]
 //! repro scale [--requests N] [--actuators N] [--inter-arrival MS]
 //!             [--stats exact|streaming] [--seed S]
+//! repro explore [--grid coarse|adaptive|full] [--refine N]
+//!               [--latency mean|p90] [--out DIR] [--cache DIR|none]
+//!               [--jobs N] [--requests N] [--seed S]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 (alias: sa_eval) |
 //!             fig6 | fig7 | fig8 | table9 | fig9 | thermal | drpm |
@@ -25,6 +28,16 @@
 //! machine's available parallelism). The report printed to stdout is
 //! byte-identical for every jobs value; per-point progress lines go to
 //! stderr.
+//!
+//! `repro explore` sweeps the DASH × scheduler × cache × RPM ×
+//! workload design space through the point cache (see the `explorer`
+//! crate docs): cache misses simulate on the executor, hits load from
+//! `--cache` (default `.explore-cache`; keyed on descriptor hash +
+//! code version), and the run writes a byte-stable
+//! `<out>/explore.json` plus a `report.html` with the Pareto-frontier
+//! panel. Stdout and both artifacts are byte-identical across `--jobs`
+//! values and cold/warm cache states; progress and hit/miss counts go
+//! to stderr.
 //!
 //! `--trace DIR` additionally exports the fixed telemetry scenarios
 //! (see `experiments::tracing`) as Perfetto-loadable JSON + CSV + an
@@ -48,6 +61,8 @@ use simkit::StatsMode;
 struct Args {
     experiment: String,
     scale: Scale,
+    requests_set: bool,
+    stats_set: bool,
     spc_file: Option<String>,
     actuators: u32,
     inter_arrival_ms: f64,
@@ -55,6 +70,11 @@ struct Args {
     trace_dir: Option<String>,
     metrics_dir: Option<String>,
     report_dir: Option<String>,
+    explore_grid: String,
+    explore_refine: u32,
+    explore_latency: String,
+    explore_out: String,
+    explore_cache: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -70,9 +90,16 @@ fn parse_args() -> Result<Args, String> {
     let mut actuators = 4u32;
     let mut inter_arrival_ms = 6.0;
     let mut jobs = default_jobs();
+    let mut requests_set = false;
+    let mut stats_set = false;
     let mut trace_dir = None;
     let mut metrics_dir = None;
     let mut report_dir = None;
+    let mut explore_grid = "adaptive".to_string();
+    let mut explore_refine = 2u32;
+    let mut explore_latency = "p90".to_string();
+    let mut explore_out = "explore-out".to_string();
+    let mut explore_cache = Some(".explore-cache".to_string());
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -106,6 +133,37 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("bad --requests: {e}"))?;
                 scale = scale.with_requests(v);
+                requests_set = true;
+            }
+            "--grid" => {
+                let v = it.next().ok_or("--grid needs coarse|adaptive|full")?;
+                match v.as_str() {
+                    "coarse" | "adaptive" | "full" => explore_grid = v,
+                    other => {
+                        return Err(format!("bad --grid {other:?} (want coarse|adaptive|full)"));
+                    }
+                }
+            }
+            "--refine" => {
+                explore_refine = it
+                    .next()
+                    .ok_or("--refine needs a pass count")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --refine: {e}"))?;
+            }
+            "--latency" => {
+                let v = it.next().ok_or("--latency needs mean|p90")?;
+                match v.as_str() {
+                    "mean" | "p90" => explore_latency = v,
+                    other => return Err(format!("bad --latency {other:?} (want mean|p90)")),
+                }
+            }
+            "--out" => {
+                explore_out = it.next().ok_or("--out needs a directory")?;
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a directory (or `none`)")?;
+                explore_cache = if v == "none" { None } else { Some(v) };
             }
             "--stats" => {
                 let v = it.next().ok_or("--stats needs exact|streaming")?;
@@ -117,6 +175,7 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
                 scale = scale.with_stats(mode);
+                stats_set = true;
             }
             "--inter-arrival" => {
                 inter_arrival_ms = it
@@ -137,7 +196,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--stats exact|streaming] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]\n       repro scale [--requests N] [--actuators N] [--inter-arrival MS] [--stats exact|streaming] [--seed S]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--stats exact|streaming] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]\n       repro scale [--requests N] [--actuators N] [--inter-arrival MS] [--stats exact|streaming] [--seed S]\n       repro explore [--grid coarse|adaptive|full] [--refine N] [--latency mean|p90] [--out DIR] [--cache DIR|none] [--jobs N] [--requests N] [--seed S]"
                         .to_string(),
                 );
             }
@@ -161,6 +220,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         experiment,
         scale,
+        requests_set,
+        stats_set,
         spc_file,
         actuators,
         inter_arrival_ms,
@@ -168,7 +229,83 @@ fn parse_args() -> Result<Args, String> {
         trace_dir,
         metrics_dir,
         report_dir,
+        explore_grid,
+        explore_refine,
+        explore_latency,
+        explore_out,
+        explore_cache,
     })
+}
+
+/// The `repro explore` mode: sweep the design space through the point
+/// cache, write `<out>/explore.json`, and render `<out>/report.html`
+/// with the Pareto panel. Cache hit/miss counts go to stderr; stdout
+/// and the artifacts are byte-identical across jobs and cache states.
+fn run_explore(args: &Args) -> Result<(), String> {
+    let defaults = explorer::SweepScale::default();
+    let scale = explorer::SweepScale {
+        requests: if args.requests_set { args.scale.requests } else { defaults.requests },
+        seed: args.scale.seed,
+        stats: if args.stats_set { args.scale.stats } else { defaults.stats },
+    };
+    let coverage = match args.explore_grid.as_str() {
+        "coarse" => explorer::Coverage::Coarse,
+        "full" => explorer::Coverage::Full,
+        _ => explorer::Coverage::Adaptive { passes: args.explore_refine },
+    };
+    let latency = match args.explore_latency.as_str() {
+        "mean" => explorer::LatencyAxis::Mean,
+        _ => explorer::LatencyAxis::P90,
+    };
+    let opts = explorer::ExploreOptions {
+        scale,
+        coverage,
+        latency,
+        cache: args.explore_cache.as_deref().map(explorer::PointCache::new),
+    };
+    let exec = Executor::new(args.jobs);
+    let out = explorer::explore(&opts, &exec).map_err(|e| e.to_string())?;
+    eprintln!(
+        "[explore: {} points ({} executed, {} cached), {} on the frontier]",
+        out.points.len(),
+        out.executed,
+        out.cached,
+        out.frontier.len()
+    );
+
+    let out_dir = std::path::Path::new(&args.explore_out);
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join("explore.json");
+    std::fs::write(&json_path, &out.json)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    eprintln!("[explore: {}]", json_path.display());
+    let report = experiments::metrics_export::write_report(out_dir).map_err(|e| e.to_string())?;
+    eprintln!("[report: {}]", report.display());
+
+    // The deterministic stdout summary: the frontier, one line per
+    // point, in canonical order.
+    println!(
+        "# explore: {} points, {} frontier | axes: {} latency (ms), energy (J), cost (USD)",
+        out.points.len(),
+        out.frontier.len(),
+        args.explore_latency
+    );
+    for &i in &out.frontier {
+        let p = &out.points[i];
+        println!(
+            "{} | {:>7.3} ms | {:>9.3} J | {:>6.2} USD | {}",
+            p.descriptor.label(),
+            match latency {
+                explorer::LatencyAxis::Mean => p.mean_ms,
+                explorer::LatencyAxis::P90 => p.p90_ms,
+            },
+            p.energy_j,
+            p.cost_usd,
+            &p.hash()[..12],
+        );
+    }
+    Ok(())
 }
 
 /// Replays a real SPC-format trace (e.g. the UMass Financial or
@@ -393,6 +530,16 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("report failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.experiment == "explore" {
+        return match run_explore(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
                 ExitCode::FAILURE
             }
         };

@@ -1,0 +1,142 @@
+//! The content-addressed on-disk point cache.
+//!
+//! Layout: `<root>/objects/<hh>/<descriptor-hash>-<code16>.json`, where
+//! `hh` is the hash's first byte (256-way fan-out keeps directories
+//! small at 10⁵+ points) and `code16` is the leading 16 hex chars of
+//! the build's `CODE_VERSION` fingerprint. The full code version is
+//! embedded in — and checked against — the record body, so a
+//! truncated-prefix collision cannot serve a stale result.
+//!
+//! Robustness policy: *any* defect in a cached file (unreadable,
+//! unparsable, wrong schema, wrong code version, hash mismatch) is a
+//! miss, never an error — the point simply re-runs and the record is
+//! rewritten. Only a failure to *write* a fresh record surfaces, since
+//! it would silently forfeit the warm-run guarantee.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::descriptor::PointDescriptor;
+use crate::point::PointOutcome;
+
+/// The compiled-in source fingerprint (see `build.rs`).
+pub const CODE_VERSION: &str = env!("CODE_VERSION");
+
+/// Handle on a cache directory for one code version.
+#[derive(Debug, Clone)]
+pub struct PointCache {
+    root: PathBuf,
+    code_version: String,
+}
+
+impl PointCache {
+    /// Opens (without creating) a cache rooted at `root`, keyed for
+    /// this build's [`CODE_VERSION`].
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self::with_code_version(root, CODE_VERSION)
+    }
+
+    /// Opens a cache keyed for an explicit code version (tests use this
+    /// to exercise version-miss behavior).
+    pub fn with_code_version(root: impl Into<PathBuf>, code_version: &str) -> Self {
+        PointCache {
+            root: root.into(),
+            code_version: code_version.to_string(),
+        }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The code version records are keyed on.
+    pub fn code_version(&self) -> &str {
+        &self.code_version
+    }
+
+    /// On-disk path of a descriptor's record for this code version.
+    pub fn path_for(&self, hash: &str) -> PathBuf {
+        let shard = &hash[..2.min(hash.len())];
+        let code16 = &self.code_version[..16.min(self.code_version.len())];
+        self.root
+            .join("objects")
+            .join(shard)
+            .join(format!("{hash}-{code16}.json"))
+    }
+
+    /// Loads a point's cached outcome, or `None` on any miss (absent,
+    /// unreadable, corrupt, wrong code version).
+    pub fn load(&self, d: &PointDescriptor) -> Option<PointOutcome> {
+        let body = fs::read_to_string(self.path_for(&d.hash())).ok()?;
+        PointOutcome::from_record(&body, d, &self.code_version)
+    }
+
+    /// Writes a point's record (creating shard directories as needed).
+    /// The write goes through a temp file + rename so a crash never
+    /// leaves a half-written record to mistake for a corrupt cache.
+    pub fn store(&self, outcome: &PointOutcome) -> io::Result<()> {
+        let path = self.path_for(&outcome.hash());
+        let dir = path.parent().expect("record path has a shard dir");
+        fs::create_dir_all(dir)?;
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, outcome.to_record(&self.code_version))?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::run_point;
+    use crate::space::{grid, GridResolution, SweepScale};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("explorer-cache-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let cache = PointCache::with_code_version(&dir, "cv-1");
+        let scale = SweepScale { requests: 300, ..SweepScale::default() };
+        let d = grid(GridResolution::Coarse, scale)[0];
+        assert!(cache.load(&d).is_none(), "cold cache misses");
+        let out = run_point(&d).expect("replay succeeds");
+        cache.store(&out).expect("store succeeds");
+        assert_eq!(cache.load(&d), Some(out));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_code_version_misses() {
+        let dir = tmpdir("version");
+        let scale = SweepScale { requests: 300, ..SweepScale::default() };
+        let d = grid(GridResolution::Coarse, scale)[0];
+        let out = run_point(&d).expect("replay succeeds");
+        PointCache::with_code_version(&dir, "cv-1")
+            .store(&out)
+            .expect("store succeeds");
+        assert!(PointCache::with_code_version(&dir, "cv-2").load(&d).is_none());
+        // Short versions share a path prefix, but the embedded
+        // full-version check still distinguishes them.
+        assert!(PointCache::with_code_version(&dir, "cv-1!").load(&d).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let scale = SweepScale { requests: 300, ..SweepScale::default() };
+        let d = grid(GridResolution::Coarse, scale)[0];
+        let cache = PointCache::with_code_version(&dir, "cv-1");
+        let out = run_point(&d).expect("replay succeeds");
+        cache.store(&out).expect("store succeeds");
+        fs::write(cache.path_for(&d.hash()), "{garbage").expect("clobber");
+        assert!(cache.load(&d).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

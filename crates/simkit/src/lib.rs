@@ -49,6 +49,7 @@ pub use event::{
 pub use pool::{Slab, SlotId};
 pub use rng::Rng64;
 pub use stats::{
-    Cdf, Histogram, ModeAccumulator, P2Quantile, Pdf, ResponseStats, StatsMode, StreamingHistogram,
+    Cdf, DecodeError, Histogram, ModeAccumulator, P2Quantile, Pdf, ResponseStats, StatsMode,
+    StreamingHistogram,
 };
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,140 @@
+//! Byte-level encoding helpers shared by the serializable statistics
+//! accumulators ([`StreamingHistogram`](super::StreamingHistogram),
+//! [`ResponseStats`](super::ResponseStats)).
+//!
+//! All integers and floats are little-endian, so an encoded blob is
+//! byte-identical across hosts — a requirement for the explorer's
+//! content-addressed point cache and for ROADMAP item 2's checkpoint
+//! files, both of which compare snapshots with `cmp`.
+
+use std::fmt;
+
+/// A malformed statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The blob ended before the declared payload did.
+    Truncated,
+    /// The leading magic did not match the expected format tag.
+    BadMagic,
+    /// A decoded field violates the format's invariants (for example a
+    /// bucket index past the edge table, or a non-finite error bound).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::BadMagic => write!(f, "snapshot magic mismatch"),
+            DecodeError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over an encoded snapshot; every read checks bounds.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Consumes and checks a 4-byte magic tag.
+    pub fn expect_magic(&mut self, magic: &[u8; 4]) -> Result<(), DecodeError> {
+        if self.take(4)? == magic {
+            Ok(())
+        } else {
+            Err(DecodeError::BadMagic)
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads a little-endian `f64` (bit pattern preserved exactly).
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f64` (bit pattern preserved exactly).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, f64::NEG_INFINITY);
+        put_f64(&mut buf, -0.0);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 1);
+        let mut r = Reader::new(&buf[..7]);
+        assert_eq!(r.u64(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn magic_mismatch_detected() {
+        let mut r = Reader::new(b"XYZW");
+        assert_eq!(r.expect_magic(b"SHG1"), Err(DecodeError::BadMagic));
+    }
+}

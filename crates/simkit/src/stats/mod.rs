@@ -2,6 +2,7 @@
 //! CDFs/PDFs over fixed bucket edges, percentiles, and time-weighted
 //! operating-mode accounting for power attribution.
 
+mod codec;
 mod histogram;
 mod quantile;
 mod response;
@@ -9,6 +10,7 @@ mod streamhist;
 mod summary;
 mod timeweight;
 
+pub use codec::DecodeError;
 pub use histogram::{Cdf, Histogram, Pdf};
 pub use quantile::P2Quantile;
 pub use response::{ResponseStats, StatsMode};

@@ -35,8 +35,13 @@
 //! insertion order of float additions, which the deterministic
 //! plan-order reduction of parallel sweeps fixes.
 
+use super::codec::{self, DecodeError, Reader};
+
 /// Default relative-error bound for percentile estimates (1%).
 pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// Format tag for serialized histograms (see [`StreamingHistogram::to_bytes`]).
+const MAGIC: &[u8; 4] = b"SHG1";
 /// Default smallest resolvable value (1 µs, in ms).
 pub const DEFAULT_FLOOR: f64 = 1e-3;
 /// Default largest resolvable value (1000 s, in ms).
@@ -304,6 +309,103 @@ impl StreamingHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Serializes the full histogram state to a canonical byte string.
+    ///
+    /// The encoding stores the configuration (`rel_err`, floor, last
+    /// edge) plus the moments and a sparse `(bucket, count)` list, all
+    /// little-endian, so the blob is a pure function of the histogram
+    /// state — equal histograms encode to equal bytes on every host.
+    /// [`from_bytes`](Self::from_bytes) rebuilds the edge table by
+    /// re-running the constructor's multiplication chain, which
+    /// reproduces the exact same floats; the round trip is the
+    /// identity under `==`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nonzero = self.counts.iter().filter(|&&c| c != 0).count();
+        let mut out = Vec::with_capacity(4 + 8 * 7 + nonzero * 12);
+        out.extend_from_slice(MAGIC);
+        codec::put_f64(&mut out, self.rel_err);
+        codec::put_f64(&mut out, self.edges[0]);
+        codec::put_f64(&mut out, self.edges[self.edges.len() - 1]);
+        codec::put_u64(&mut out, self.total);
+        codec::put_f64(&mut out, self.sum);
+        codec::put_f64(&mut out, self.min);
+        codec::put_f64(&mut out, self.max);
+        codec::put_u64(&mut out, nonzero as u64);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                codec::put_u32(&mut out, i as u32);
+                codec::put_u64(&mut out, c);
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a histogram from [`to_bytes`](Self::to_bytes)
+    /// output. The result compares equal to the encoded histogram.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let h = Self::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(h)
+    }
+
+    /// Decodes one histogram at the reader's cursor (embedded form,
+    /// used by `ResponseStats` snapshots).
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_magic(MAGIC)?;
+        let rel_err = r.f64()?;
+        let floor = r.f64()?;
+        let last_edge = r.f64()?;
+        if !(rel_err > 0.0 && rel_err <= 0.5) {
+            return Err(DecodeError::Corrupt("relative error out of range"));
+        }
+        if !(floor > 0.0 && floor < last_edge && last_edge.is_finite()) {
+            return Err(DecodeError::Corrupt("edge range invalid"));
+        }
+        // `with_config` stops as soon as an edge reaches the cap, so
+        // passing the original last edge back in regenerates exactly
+        // the original edge table (same multiplications, same floats).
+        let mut h = Self::with_config(rel_err, floor, last_edge);
+        if h.edges[h.edges.len() - 1] != last_edge {
+            return Err(DecodeError::Corrupt("edge table does not regenerate"));
+        }
+        h.total = r.u64()?;
+        h.sum = r.f64()?;
+        h.min = r.f64()?;
+        h.max = r.f64()?;
+        let nonzero = r.u64()?;
+        let mut seen = 0u64;
+        for _ in 0..nonzero {
+            let idx = r.u32()? as usize;
+            let count = r.u64()?;
+            if idx >= h.counts.len() {
+                return Err(DecodeError::Corrupt("bucket index out of range"));
+            }
+            if count == 0 {
+                return Err(DecodeError::Corrupt("zero count in sparse list"));
+            }
+            h.counts[idx] = count;
+            seen = seen
+                .checked_add(count)
+                .ok_or(DecodeError::Corrupt("count overflow"))?;
+        }
+        if seen != h.total {
+            return Err(DecodeError::Corrupt("bucket counts disagree with total"));
+        }
+        if h.sum.is_nan() || h.min.is_nan() || h.max.is_nan() {
+            return Err(DecodeError::Corrupt("NaN moment"));
+        }
+        Ok(h)
+    }
+
+    /// Serializes into an existing buffer (embedded form, used by
+    /// `ResponseStats` snapshots).
+    pub(crate) fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
 }
 
 impl Default for StreamingHistogram {
@@ -445,6 +547,45 @@ mod tests {
     #[should_panic(expected = "negative or NaN")]
     fn nan_rejected() {
         StreamingHistogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn bytes_round_trip_is_identity() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..5_000u64 {
+            h.record(0.01 * (i as f64).powf(1.4));
+        }
+        h.record(0.0); // sub-floor bucket
+        h.record(5e7); // overflow bucket
+        let back = StreamingHistogram::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back, h);
+        // And the re-encoding is byte-identical (canonical form).
+        assert_eq!(back.to_bytes(), h.to_bytes());
+    }
+
+    #[test]
+    fn bytes_round_trip_empty_and_custom_config() {
+        for h in [
+            StreamingHistogram::new(),
+            StreamingHistogram::with_config(0.05, 0.5, 300.0),
+        ] {
+            let back = StreamingHistogram::from_bytes(&h.to_bytes()).unwrap();
+            assert_eq!(back, h);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let mut h = StreamingHistogram::new();
+        h.record(1.0);
+        let good = h.to_bytes();
+        assert!(StreamingHistogram::from_bytes(&good[..good.len() - 1]).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(StreamingHistogram::from_bytes(&bad_magic).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(StreamingHistogram::from_bytes(&trailing).is_err());
     }
 
     #[test]

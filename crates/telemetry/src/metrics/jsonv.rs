@@ -236,17 +236,28 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| ParseError {
-                        message: "invalid UTF-8".to_string(),
-                        offset: self.pos,
-                    })?;
-                    if let Some(c) = s.chars().next() {
-                        out.push(c);
-                        self.pos += c.len_utf8();
+                    // Consume the whole run up to the next quote or
+                    // escape in one step. `"` and `\` are single-byte
+                    // ASCII, so they can never split a multi-byte
+                    // scalar, and the input arrived as a &str — the run
+                    // is valid UTF-8 by construction. (Per-char
+                    // validation here made parsing quadratic in string
+                    // length, which dominated warm cache loads.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
                     }
+                    let run =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                            ParseError {
+                                message: "invalid UTF-8".to_string(),
+                                offset: start,
+                            }
+                        })?;
+                    out.push_str(run);
                 }
             }
         }

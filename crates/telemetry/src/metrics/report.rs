@@ -20,6 +20,10 @@ use std::fmt::Write as _;
 
 use super::jsonv::Value;
 
+/// Schema tag of the design-space explorer's `explore.json` export.
+/// The explorer writes it; the report's Pareto panel renders it.
+pub const EXPLORE_SCHEMA: &str = "intradisk-explore-v1";
+
 /// One scenario's parsed metrics export.
 #[derive(Debug, Clone)]
 pub struct ReportInput {
@@ -393,6 +397,227 @@ fn utilization_bars(doc: &Value) -> Vec<(String, f64)> {
     bars
 }
 
+/// One explore point reduced to what the Pareto panel draws.
+struct ExplorePoint {
+    latency_ms: f64,
+    energy_j: f64,
+    cost_usd: f64,
+    frontier: bool,
+    label: String,
+    hash: String,
+}
+
+/// Pulls the point list out of a parsed `explore.json`, honoring its
+/// declared latency axis. Malformed points are skipped, not fatal.
+fn explore_points(doc: &Value) -> Vec<ExplorePoint> {
+    let latency_key = match doc.get("latency_axis").and_then(Value::as_str) {
+        Some("mean") => "mean_ms",
+        _ => "p90_ms",
+    };
+    let Some(points) = doc.get("points").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .filter_map(|p| {
+            let f = |k: &str| p.get(k).and_then(Value::as_f64);
+            let s = |k: &str| p.get(k).and_then(Value::as_str);
+            Some(ExplorePoint {
+                latency_ms: f(latency_key)?,
+                energy_j: f("energy_j")?,
+                cost_usd: f("cost_usd")?,
+                frontier: matches!(p.get("frontier"), Some(Value::Bool(true))),
+                label: format!(
+                    "{} {} {}MiB {}rpm {}",
+                    s("dash")?,
+                    s("policy")?,
+                    p.get("cache_mib").and_then(Value::as_u64)?,
+                    p.get("rpm").and_then(Value::as_u64)?,
+                    s("workload")?,
+                ),
+                hash: s("hash")?.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// The latency-vs-energy scatter: dominated points gray, frontier
+/// points highlighted, cost encoded as marker radius, every marker
+/// carrying a `<title>` tooltip with its label + descriptor hash.
+fn explore_scatter(points: &[ExplorePoint], latency_name: &str) -> String {
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    let mut c_min = f64::INFINITY;
+    let mut c_max = f64::NEG_INFINITY;
+    for p in points {
+        x_min = x_min.min(p.latency_ms);
+        x_max = x_max.max(p.latency_ms);
+        y_min = y_min.min(p.energy_j);
+        y_max = y_max.max(p.energy_j);
+        c_min = c_min.min(p.cost_usd);
+        c_max = c_max.max(p.cost_usd);
+    }
+    if !x_min.is_finite() {
+        return String::new();
+    }
+    let xs = Scale::new(x_min, x_max, MARGIN_L, CHART_W - MARGIN_R);
+    let ys = Scale::new(y_min, y_max, CHART_H - MARGIN_B, MARGIN_T);
+    let c_span = if (c_max - c_min).abs() < 1e-12 { 1.0 } else { c_max - c_min };
+    let radius = |cost: f64| 2.0 + 4.0 * (cost - c_min) / c_span;
+
+    let title = format!("Latency vs energy, cost as marker size ({latency_name} latency)");
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" role=\"img\" aria-label=\"{}\">",
+        esc(&title)
+    );
+    let _ = write!(
+        svg,
+        "<text x=\"{MARGIN_L}\" y=\"14\" class=\"title\">{}</text>",
+        esc(&title)
+    );
+    let x0 = MARGIN_L;
+    let x1 = CHART_W - MARGIN_R;
+    let y0 = CHART_H - MARGIN_B;
+    let _ = write!(
+        svg,
+        "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" class=\"axis\"/>\
+         <line x1=\"{x0}\" y1=\"{MARGIN_T}\" x2=\"{x0}\" y2=\"{y0}\" class=\"axis\"/>",
+    );
+    for t in nice_ticks(x_min, x_max) {
+        let px = xs.px(t);
+        let _ = write!(
+            svg,
+            "<line x1=\"{px:.1}\" y1=\"{y0}\" x2=\"{px:.1}\" y2=\"{}\" class=\"tick\"/>\
+             <text x=\"{px:.1}\" y=\"{}\" class=\"lbl\" text-anchor=\"middle\">{}</text>",
+            y0 + 4.0,
+            y0 + 16.0,
+            fmt_num(t)
+        );
+    }
+    for t in nice_ticks(y_min, y_max) {
+        let py = ys.px(t);
+        let _ = write!(
+            svg,
+            "<line x1=\"{}\" y1=\"{py:.1}\" x2=\"{x0}\" y2=\"{py:.1}\" class=\"tick\"/>\
+             <text x=\"{}\" y=\"{:.1}\" class=\"lbl\" text-anchor=\"end\">{}</text>",
+            x0 - 4.0,
+            x0 - 6.0,
+            py + 3.0,
+            fmt_num(t)
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text x=\"{:.1}\" y=\"{}\" class=\"axlbl\" text-anchor=\"middle\">{latency_name} response time (ms)</text>",
+        (x0 + x1) / 2.0,
+        CHART_H - 8.0,
+    );
+    let _ = write!(
+        svg,
+        "<text x=\"12\" y=\"{:.1}\" class=\"axlbl\" text-anchor=\"middle\" transform=\"rotate(-90 12 {:.1})\">energy (J)</text>",
+        (MARGIN_T + y0) / 2.0,
+        (MARGIN_T + y0) / 2.0,
+    );
+    // Dominated cloud first, frontier on top of it.
+    for pass in [false, true] {
+        for p in points.iter().filter(|p| p.frontier == pass) {
+            let (class, r) = if p.frontier {
+                ("pfront", radius(p.cost_usd) + 1.0)
+            } else {
+                ("pdom", radius(p.cost_usd))
+            };
+            let _ = write!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\" class=\"{class}\">\
+                 <title>{} | {} ms | {} J | {} USD | {}</title></circle>",
+                xs.px(p.latency_ms),
+                ys.px(p.energy_j),
+                esc(&p.label),
+                fmt_num(p.latency_ms),
+                fmt_num(p.energy_j),
+                fmt_num(p.cost_usd),
+                esc(&p.hash),
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// The design-space exploration section: headline stats, the Pareto
+/// scatter, and a frontier table keyed by descriptor hash.
+fn explore_section(doc: &Value) -> String {
+    let points = explore_points(doc);
+    let latency_name = match doc.get("latency_axis").and_then(Value::as_str) {
+        Some("mean") => "mean",
+        _ => "p90",
+    };
+    let frontier: Vec<&ExplorePoint> = points.iter().filter(|p| p.frontier).collect();
+
+    let mut out = String::new();
+    out.push_str("<section><h2>Design-space exploration — Pareto frontier</h2>");
+    let mut cells = String::new();
+    for (label, value) in [
+        ("points", points.len().to_string()),
+        ("frontier", frontier.len().to_string()),
+        (
+            "coverage",
+            doc.get("coverage").and_then(Value::as_str).unwrap_or("?").to_string(),
+        ),
+        (
+            "requests/point",
+            doc.get("requests").and_then(Value::as_u64).map_or("?".into(), |v| v.to_string()),
+        ),
+        ("latency axis", latency_name.to_string()),
+    ] {
+        let _ = write!(
+            cells,
+            "<div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">{}</div></div>",
+            esc(&value),
+            esc(label)
+        );
+    }
+    let _ = write!(out, "<div class=\"stats\">{cells}</div>");
+    if let Some(cv) = doc.get("code_version").and_then(Value::as_str) {
+        let _ = write!(
+            out,
+            "<p class=\"meta\">cached points keyed on code version <code>{}</code></p>",
+            esc(&cv[..16.min(cv.len())])
+        );
+    }
+    if !points.is_empty() {
+        let _ = write!(out, "<figure>{}</figure>", explore_scatter(&points, latency_name));
+    }
+    if !frontier.is_empty() {
+        let mut rows = String::new();
+        for p in &frontier {
+            let _ = write!(
+                rows,
+                "<tr><td class=\"cfg\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td><code>{}</code></td></tr>",
+                esc(&p.label),
+                fmt_num(p.latency_ms),
+                fmt_num(p.energy_j),
+                fmt_num(p.cost_usd),
+                esc(&p.hash[..12.min(p.hash.len())]),
+            );
+        }
+        let _ = write!(
+            out,
+            "<table class=\"fig5\"><caption>Frontier configurations (non-dominated on \
+             {latency_name} latency, energy, cost)</caption>\
+             <tr><th>configuration</th><th>latency (ms)</th><th>energy (J)</th>\
+             <th>cost (USD)</th><th>descriptor</th></tr>{rows}</table>"
+        );
+    }
+    out.push_str("</section>");
+    out
+}
+
 const POWER_MODE_NAMES: [&str; 4] = ["idle", "seek", "rot_wait", "transfer"];
 
 fn scenario_section(input: &ReportInput) -> String {
@@ -486,6 +711,12 @@ fn scenario_section(input: &ReportInput) -> String {
 
 /// Renders the full dashboard for a sorted set of scenario exports.
 pub fn render_html(inputs: &[ReportInput]) -> String {
+    render_html_with_explore(inputs, None)
+}
+
+/// Renders the dashboard with an optional design-space exploration
+/// panel (a parsed `explore.json` document, schema [`EXPLORE_SCHEMA`]).
+pub fn render_html_with_explore(inputs: &[ReportInput], explore: Option<&Value>) -> String {
     let mut inputs: Vec<&ReportInput> = inputs.iter().collect();
     inputs.sort_by(|a, b| a.name.cmp(&b.name));
 
@@ -504,7 +735,9 @@ pub fn render_html(inputs: &[ReportInput]) -> String {
          table.fig5{border-collapse:collapse;font-size:.8rem;margin:1rem 0;}\n\
          table.fig5 th,table.fig5 td{border:1px solid #ccc;padding:.2rem .5rem;text-align:right;}\n\
          table.fig5 caption{caption-side:top;text-align:left;font-size:.75rem;color:#556;padding-bottom:.25rem;}\n\
+         table.fig5 td.cfg{text-align:left;}\n\
          .meta{color:#667;font-size:.85rem;}\n\
+         .pdom{fill:#9aa7b5;opacity:.45;} .pfront{fill:#d55e00;stroke:#7a3100;stroke-width:.8;}\n\
          </style>\n</head>\n<body>\n",
     );
     html.push_str("<h1>Intra-disk parallelism — metrics report</h1>\n");
@@ -538,6 +771,11 @@ pub fn render_html(inputs: &[ReportInput]) -> String {
                 None
             )
         );
+    }
+
+    if let Some(doc) = explore {
+        html.push_str(&explore_section(doc));
+        html.push('\n');
     }
 
     for input in &inputs {
@@ -625,6 +863,57 @@ mod tests {
     fn empty_inputs_still_render() {
         let html = render_html(&[]);
         assert!(html.contains("0 scenario(s)"));
+    }
+
+    fn sample_explore() -> Value {
+        jsonv::parse(
+            r#"{
+  "schema": "intradisk-explore-v1",
+  "code_version": "deadbeefdeadbeefdeadbeefdeadbeef",
+  "coverage": "coarse",
+  "latency_axis": "p90",
+  "requests": 200,
+  "seed": 42,
+  "stats": "streaming",
+  "points": [
+    {"cache_mib":8,"cache_hits":10,"completed":200,"cost_usd":61.0,"dash":"D1A1S1H1","energy_j":40.0,"frontier":true,"hash":"aaaa111122223333","mean_ms":5.0,"p90_ms":9.0,"policy":"fcfs","power_w":12.0,"rpm":7200,"workload":"oltp"},
+    {"cache_mib":8,"cache_hits":12,"completed":200,"cost_usd":80.0,"dash":"D1A2S1H1","energy_j":55.0,"frontier":false,"hash":"bbbb111122223333","mean_ms":6.0,"p90_ms":11.0,"policy":"fcfs","power_w":14.0,"rpm":7200,"workload":"oltp"}
+  ],
+  "frontier": [
+    "aaaa111122223333"
+  ]
+}"#,
+        )
+        .expect("sample explore parses")
+    }
+
+    #[test]
+    fn explore_panel_renders_frontier_and_stays_self_contained() {
+        let doc = sample_explore();
+        let html = render_html_with_explore(&[sample_input("sa1")], Some(&doc));
+        assert!(html.contains("Design-space exploration — Pareto frontier"));
+        assert!(html.contains("Frontier configurations"));
+        // Frontier hash appears (truncated) in the table; both points
+        // carry tooltips with their full hash.
+        assert!(html.contains("aaaa11112222"));
+        assert!(html.contains("bbbb111122223333"));
+        assert!(html.contains("D1A1S1H1 fcfs 8MiB 7200rpm oltp"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("src="));
+        // Without the panel, none of it renders.
+        let plain = render_html(&[sample_input("sa1")]);
+        assert!(!plain.contains("Pareto"));
+    }
+
+    #[test]
+    fn explore_panel_is_deterministic_and_renders_without_scenarios() {
+        let doc = sample_explore();
+        let a = render_html_with_explore(&[], Some(&doc));
+        let b = render_html_with_explore(&[], Some(&doc));
+        assert_eq!(a, b);
+        assert!(a.contains("0 scenario(s)"));
+        assert!(a.contains("Pareto"));
     }
 
     #[test]

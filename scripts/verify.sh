@@ -12,6 +12,10 @@
 # across runs and --jobs values), the metrics-export and `repro report`
 # determinism checks (every `--metrics` file and the rendered
 # report.html byte-identical across runs and --jobs values), the
+# design-space explorer gates (a small-grid `repro explore` must be
+# byte-identical across --jobs values and across cold/warm/disabled
+# point-cache states, with the warm run re-executing nothing, and the
+# cache directories must be gitignored), the
 # bounded-RSS gate (a 10^7-request streaming-stats run must stay under
 # a fixed memory budget, proving request count never reaches peak
 # memory), and then the event-kernel swap gates (report and exports byte-identical to
@@ -72,6 +76,37 @@ echo "==> gate: repro report renders byte-identically"
 target/release/repro report "$sweep_dir/m1" >/dev/null 2>&1
 target/release/repro report "$sweep_dir/m2" >/dev/null 2>&1
 cmp "$sweep_dir/m1/report.html" "$sweep_dir/m2/report.html"
+
+echo "==> gate: explore byte-identical across --jobs and cold/warm cache"
+# Small-grid exploration through the content-addressed point cache:
+# the first run fills a fresh cache (cold), the rest must re-execute
+# nothing and still emit identical bytes — stdout, explore.json, and
+# the rendered report.html all carry the determinism contract.
+target/release/repro explore --grid coarse --requests 500 --jobs 1 \
+  --out "$sweep_dir/ex-cold" --cache "$sweep_dir/ex-cache" \
+  > "$sweep_dir/ex-cold.txt" 2>/dev/null
+target/release/repro explore --grid coarse --requests 500 --jobs 2 \
+  --out "$sweep_dir/ex-warm" --cache "$sweep_dir/ex-cache" \
+  > "$sweep_dir/ex-warm.txt" 2> "$sweep_dir/ex-warm.err"
+target/release/repro explore --grid coarse --requests 500 --jobs 2 \
+  --out "$sweep_dir/ex-nocache" --cache none \
+  > "$sweep_dir/ex-nocache.txt" 2>/dev/null
+cmp "$sweep_dir/ex-cold.txt" "$sweep_dir/ex-warm.txt"
+cmp "$sweep_dir/ex-cold.txt" "$sweep_dir/ex-nocache.txt"
+cmp "$sweep_dir/ex-cold/explore.json" "$sweep_dir/ex-warm/explore.json"
+cmp "$sweep_dir/ex-cold/explore.json" "$sweep_dir/ex-nocache/explore.json"
+cmp "$sweep_dir/ex-cold/report.html" "$sweep_dir/ex-warm/report.html"
+grep -q "(0 executed, " "$sweep_dir/ex-warm.err" \
+  || { echo "warm explore re-executed points it should have loaded" >&2; exit 1; }
+
+echo "==> gate: explore cache directory is gitignored"
+# Probe a path inside each directory: the `.gitignore` patterns end in
+# `/` (directory-only), which `check-ignore` on a bare nonexistent path
+# will not match.
+for d in .explore-cache explore-out; do
+  git check-ignore -q "$d/probe" \
+    || { echo "$d/ not covered by .gitignore" >&2; exit 1; }
+done
 
 echo "==> gate: BENCH_*.json schema (scripts/bench_summary.sh)"
 scripts/bench_summary.sh >/dev/null

@@ -1,0 +1,138 @@
+//! Oracle tests for the design-space explorer: cold-vs-warm cache
+//! byte-identity, cache-key sensitivity, and Pareto-dominance
+//! properties. Compiled under the `explorer` package (which owns the
+//! `repro` binary, so `CARGO_BIN_EXE_repro` resolves here).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use explorer::{
+    axes_of, explore, pareto, Coverage, ExploreOptions, LatencyAxis, PointCache, PointDescriptor,
+    SweepScale, CODE_VERSION,
+};
+use experiments::Executor;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("explore-test-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+fn tiny_opts(cache: Option<PointCache>) -> ExploreOptions {
+    ExploreOptions {
+        scale: SweepScale { requests: 200, ..SweepScale::default() },
+        coverage: Coverage::Coarse,
+        latency: LatencyAxis::P90,
+        cache,
+    }
+}
+
+/// Cold run fills the cache; the warm run re-executes nothing and
+/// emits byte-identical JSON.
+#[test]
+fn warm_run_is_byte_identical_and_executes_nothing() {
+    let dir = tmpdir("warm");
+    let opts = tiny_opts(Some(PointCache::new(&dir)));
+    let cold = explore(&opts, &Executor::serial()).expect("cold explore");
+    assert_eq!(cold.cached, 0, "cold cache serves nothing");
+    assert!(cold.executed > 0);
+    let warm = explore(&opts, &Executor::new(2)).expect("warm explore");
+    assert_eq!(warm.executed, 0, "warm run re-executes nothing");
+    assert_eq!(warm.cached, cold.points.len());
+    assert_eq!(warm.json, cold.json, "cold and warm bytes agree");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Changing the seed, the per-point config, or the code version each
+/// produce a cache miss; the identical descriptor hits.
+#[test]
+fn cache_key_sensitivity() {
+    let dir = tmpdir("keys");
+    let scale = SweepScale { requests: 200, ..SweepScale::default() };
+    let d = explorer::space::grid(explorer::GridResolution::Coarse, scale)[0];
+    let cache = PointCache::new(&dir);
+    let out = explorer::point::run_point(&d).expect("point runs");
+    cache.store(&out).expect("store");
+
+    assert_eq!(cache.load(&d), Some(out), "identical descriptor hits");
+    let reseeded = PointDescriptor { seed: d.seed + 1, ..d };
+    assert!(cache.load(&reseeded).is_none(), "seed change misses");
+    let resized = PointDescriptor { cache_mib: d.cache_mib + 4, ..d };
+    assert!(cache.load(&resized).is_none(), "config change misses");
+    let newer = PointCache::with_code_version(&dir, &format!("{CODE_VERSION}x"));
+    assert!(newer.load(&d).is_none(), "code-version change misses");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Pareto property on real explore output: no frontier member
+/// dominates another, and every off-frontier point is dominated by (or
+/// duplicates) a member.
+#[test]
+fn frontier_is_mutually_nondominated_over_real_points() {
+    let out = explore(&tiny_opts(None), &Executor::new(2)).expect("explore");
+    let axes: Vec<_> = out.points.iter().map(|p| axes_of(p, LatencyAxis::P90)).collect();
+    assert_eq!(pareto::frontier_indices(&axes), out.frontier);
+    for &i in &out.frontier {
+        for &j in &out.frontier {
+            assert!(i == j || !axes[i].dominates(&axes[j]));
+        }
+    }
+    for (i, a) in axes.iter().enumerate() {
+        if out.frontier.contains(&i) {
+            continue;
+        }
+        assert!(
+            out.frontier
+                .iter()
+                .any(|&j| axes[j].dominates(a) || (axes[j] == *a && j < i)),
+            "off-frontier point {i} neither dominated nor a duplicate"
+        );
+    }
+}
+
+/// End-to-end through the binary: a cold `repro explore` then a warm
+/// one produce byte-identical stdout, explore.json, and report.html,
+/// and the warm run executes zero points.
+#[test]
+fn repro_explore_cold_warm_end_to_end() {
+    let root = tmpdir("e2e");
+    let cache = root.join("cache");
+    let run = |out: &str| {
+        let out_dir = root.join(out);
+        let r = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "explore",
+                "--grid",
+                "coarse",
+                "--requests",
+                "200",
+                "--jobs",
+                "2",
+                "--out",
+                out_dir.to_str().unwrap(),
+                "--cache",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .expect("repro explore runs");
+        assert!(r.status.success(), "stderr: {}", String::from_utf8_lossy(&r.stderr));
+        (
+            r.stdout,
+            fs::read(out_dir.join("explore.json")).expect("explore.json written"),
+            fs::read(out_dir.join("report.html")).expect("report.html written"),
+            String::from_utf8_lossy(&r.stderr).to_string(),
+        )
+    };
+    let (cold_out, cold_json, cold_html, cold_err) = run("cold");
+    let (warm_out, warm_json, warm_html, warm_err) = run("warm");
+    assert_eq!(cold_out, warm_out, "stdout is byte-identical");
+    assert_eq!(cold_json, warm_json, "explore.json is byte-identical");
+    assert_eq!(cold_html, warm_html, "report.html is byte-identical");
+    assert!(cold_err.contains("(288 executed, 0 cached)"), "stderr: {cold_err}");
+    assert!(warm_err.contains("(0 executed, 288 cached)"), "stderr: {warm_err}");
+    let html = String::from_utf8(cold_html).expect("utf8 html");
+    assert!(html.contains("Pareto"), "report carries the Pareto panel");
+    let _ = fs::remove_dir_all(&root);
+}
