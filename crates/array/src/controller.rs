@@ -148,6 +148,9 @@ pub struct ArrayController {
     outstanding: Slab<Outstanding>,
     next_sub_id: u64,
     metrics: ArrayMetrics,
+    /// Deterministic fan-out counters, flushed to the global registry
+    /// when the controller drops.
+    prof: crate::counters::ArrayProfCounts,
 }
 
 impl ArrayController {
@@ -179,6 +182,7 @@ impl ArrayController {
             outstanding: Slab::new(),
             next_sub_id: 0,
             metrics: ArrayMetrics::with_mode(stats_mode),
+            prof: crate::counters::ArrayProfCounts::new(),
         }
     }
 
@@ -256,6 +260,8 @@ impl ArrayController {
             remaining: mapped.phase_one.len(),
             phase_two: mapped.phase_two,
         });
+        self.prof.logical_submits.bump();
+        self.prof.inflight_peak.raise(self.outstanding.len() as u64);
         self.issue(key, &mapped.phase_one, now, rec)
     }
 
@@ -268,6 +274,7 @@ impl ArrayController {
     ) -> Result<Vec<(usize, SimTime)>, DriveError> {
         let mut started = Vec::new();
         for sub in subs {
+            self.prof.sub_issues.bump();
             let sub_id = self.next_sub_id;
             self.next_sub_id += 1;
             self.sub_owner.insert(sub_id, key);

@@ -1,0 +1,57 @@
+//! Deterministic array-controller counters.
+//!
+//! Counts logical submissions, sub-request fan-out, and the in-flight
+//! high-water mark — pure functions of the workload and layout, so the
+//! exported totals are byte-identical across runs, hosts, and
+//! `--jobs`. Batched per controller via [`DropCounter`]s (see
+//! [`simkit::counters`]) and flushed when the controller drops.
+
+use simkit::counters::{Counter, DropCounter};
+
+/// Peak logical requests simultaneously outstanding in any controller.
+pub static INFLIGHT_PEAK: Counter = Counter::new_max("array.inflight_peak");
+/// Logical requests submitted to array controllers.
+pub static LOGICAL_SUBMITS: Counter = Counter::new("array.logical_submits");
+/// Sub-requests issued to member disks (fan-out, both phases).
+pub static SUB_ISSUES: Counter = Counter::new("array.sub_issues");
+
+/// Every counter this crate owns, in export (name) order.
+pub fn all() -> [&'static Counter; 3] {
+    [&INFLIGHT_PEAK, &LOGICAL_SUBMITS, &SUB_ISSUES]
+}
+
+/// Reset every counter this crate owns.
+pub fn reset_all() {
+    for c in all() {
+        c.reset();
+    }
+}
+
+/// Per-controller batchers for the array counters.
+#[derive(Debug, Clone)]
+pub struct ArrayProfCounts {
+    /// One per logical submission.
+    pub logical_submits: DropCounter,
+    /// One per sub-request issued to a member disk.
+    pub sub_issues: DropCounter,
+    /// High-water mark of simultaneously outstanding logical requests
+    /// (flushed as a max).
+    pub inflight_peak: DropCounter,
+}
+
+impl ArrayProfCounts {
+    /// Batchers targeting this crate's global registry.
+    pub fn new() -> Self {
+        ArrayProfCounts {
+            logical_submits: DropCounter::new(&LOGICAL_SUBMITS),
+            sub_issues: DropCounter::new(&SUB_ISSUES),
+            inflight_peak: DropCounter::new(&INFLIGHT_PEAK),
+        }
+    }
+}
+
+impl Default for ArrayProfCounts {
+    fn default() -> Self {
+        Self::new()
+    }
+}

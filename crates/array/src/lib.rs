@@ -36,6 +36,7 @@
 //! ```
 
 pub mod controller;
+pub mod counters;
 pub mod layout;
 pub mod maid;
 

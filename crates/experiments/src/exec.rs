@@ -23,11 +23,13 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 use diskmodel::DriveError;
+use telemetry::prof::{self, Phase};
 
 use crate::configs::Scale;
 use crate::plan::Study;
@@ -197,6 +199,7 @@ where
     let mut slots: Vec<Option<T>> = Vec::with_capacity(points.len());
     slots.resize_with(points.len(), || None);
     let mut panics: Vec<PointPanic> = Vec::new();
+    crate::counters::WORKERS_SPAWNED.add(workers as u64);
     std::thread::scope(|scope| { // simlint: allow(no-thread-in-sim) — the executor is the one sanctioned thread user
         for w in 0..workers {
             let tx = tx.clone();
@@ -216,6 +219,9 @@ where
             });
         }
         drop(tx);
+        // The collector thread spends this loop blocked on the channel
+        // while workers replay points: executor idle time.
+        let _idle = prof::scope(Phase::ExecIdle);
         for (i, out) in rx.iter() {
             match out {
                 Ok(v) => slots[i] = Some(v),
@@ -241,6 +247,7 @@ fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
     for off in 1..queues.len() {
         let victim = (w + off) % queues.len();
         if let Some(i) = queues[victim].lock().expect("queue lock poisoned").pop_back() {
+            crate::counters::STEALS.add(1);
             return Some(i);
         }
     }
@@ -255,15 +262,33 @@ pub fn run_study<S: Study>(
     scale: Scale,
     exec: &Executor,
 ) -> Result<S::Report, StudyError> {
-    let plan = study.plan(scale);
+    let plan = {
+        let _plan = prof::scope(Phase::Plan);
+        study.plan(scale)
+    };
     let points = plan.points();
     let total = points.len();
     let done = AtomicUsize::new(0);
+    let clock = prof::Stopwatch::start();
     let outcome = exec.map(points, |_, p| {
-        let out = study.run_point(p, scale);
+        let out = {
+            let _rp = prof::scope(Phase::RunPoint);
+            crate::counters::POINTS_RUN.add(1);
+            study.run_point(p, scale)
+        };
         if exec.progress() {
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!("[{} {n}/{total}] {}", study.name(), study.label(p));
+            let secs = clock.elapsed_secs().max(1e-9);
+            let rate = n as f64 / secs;
+            let eta = (total.saturating_sub(n)) as f64 / rate;
+            // One write_all of a complete line so progress survives
+            // being piped or interleaved across workers intact.
+            let line = format!(
+                "[{} {n}/{total}] {} ({rate:.1} pts/s, eta {eta:.0}s)\n",
+                study.name(),
+                study.label(p)
+            );
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
         }
         out
     });
@@ -290,6 +315,7 @@ pub fn run_study<S: Study>(
             }
         }
     }
+    let _reduce = prof::scope(Phase::Reduce);
     Ok(study.reduce(outputs))
 }
 

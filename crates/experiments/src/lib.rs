@@ -34,11 +34,13 @@
 pub mod bottleneck;
 pub mod configs;
 pub mod cost_analysis;
+pub mod counters;
 pub mod exec;
 pub mod extensions;
 pub mod limit_study;
 pub mod metrics_export;
 pub mod plan;
+pub mod profile;
 pub mod raid_eval;
 pub mod replication;
 pub mod report;
@@ -59,8 +61,9 @@ pub use plan::{ExperimentPlan, Study};
 pub use raid_eval::RaidStudy;
 pub use rpm_study::RpmStudy;
 pub use runner::{
-    run_array, run_array_traced, run_drive, run_drive_traced, run_drive_with_failures,
-    run_drive_with_failures_traced, ArrayRunResult, DriveRunResult,
+    run_array, run_array_traced, run_drive, run_drive_observed, run_drive_traced,
+    run_drive_with_failures, run_drive_with_failures_traced, ArrayRunResult, DriveRunResult,
+    NullObserver, RunObserver,
 };
 pub use sa_eval::SaStudy;
 pub use validation::ValidationStudy;

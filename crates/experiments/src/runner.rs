@@ -22,9 +22,28 @@ use array::{ArrayController, Layout};
 use diskmodel::{DiskParams, DriveError};
 use intradisk::failure::FailureSchedule;
 use intradisk::{DiskDrive, DriveConfig, DriveMetrics, PowerBreakdown};
-use simkit::{EventQueue, ResponseStats, SimDuration, SimTime};
+use simkit::{EventQueue, QueueStats, ResponseStats, SimDuration, SimTime};
+use telemetry::prof::{self, Phase};
 use telemetry::{NullRecorder, Recorder};
-use workload::{IntoRequestSource, RequestSource};
+use workload::{CountingSource, IntoRequestSource, RequestSource};
+
+/// Observer hooked into the drive run loop, called after every
+/// completed request with the drive's live metrics. This is how
+/// heartbeats observe a run without the sim core touching threads or
+/// host time: the loop stays single-threaded and virtual-time-driven,
+/// the observer decides (on its own clock) whether to emit anything.
+pub trait RunObserver {
+    /// Called once per completed request.
+    fn on_complete(&mut self, metrics: &DriveMetrics);
+}
+
+/// The no-op observer behind the plain entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_complete(&mut self, _metrics: &DriveMetrics) {}
+}
 
 /// Result of replaying a workload on a single drive.
 #[derive(Debug, Clone)]
@@ -35,6 +54,8 @@ pub struct DriveRunResult {
     pub power: PowerBreakdown,
     /// Wall-clock span of the run.
     pub duration: SimDuration,
+    /// Deepest the drive's pending queue got during the run.
+    pub queue_peak: usize,
 }
 
 impl DriveRunResult {
@@ -70,6 +91,11 @@ pub struct ArrayRunResult {
     pub duration: SimDuration,
     /// Completed logical requests.
     pub completed: u64,
+    /// Event-kernel traffic of the run's calendar (pushes, pops, peak
+    /// pending).
+    pub kernel: QueueStats,
+    /// Deepest any member disk's pending queue got during the run.
+    pub member_queue_peak: usize,
 }
 
 impl ArrayRunResult {
@@ -125,15 +151,31 @@ pub fn run_drive_with_failures_traced<R: Recorder>(
     params: &DiskParams,
     config: DriveConfig,
     workload: impl IntoRequestSource,
-    mut failures: FailureSchedule,
+    failures: FailureSchedule,
     rec: &mut R,
 ) -> Result<DriveRunResult, DriveError> {
-    let mut source = workload.into_source();
+    run_drive_observed(params, config, workload, failures, rec, &mut NullObserver)
+}
+
+/// The single-drive event loop behind every `run_drive*` entry point,
+/// with both a telemetry recorder and a [`RunObserver`] hook.
+pub fn run_drive_observed<R: Recorder, O: RunObserver>(
+    params: &DiskParams,
+    config: DriveConfig,
+    workload: impl IntoRequestSource,
+    mut failures: FailureSchedule,
+    rec: &mut R,
+    obs: &mut O,
+) -> Result<DriveRunResult, DriveError> {
+    let mut source = CountingSource::new(workload.into_source());
     let mut drive = DiskDrive::new(params, config);
     let mut completion: Option<SimTime> = None;
     let mut end = SimTime::ZERO;
     // One-request lookahead: the only workload state the loop holds.
-    let mut pending = source.next_request();
+    let mut pending = {
+        let _sp = prof::scope(Phase::SourcePull);
+        source.next_request()
+    };
     loop {
         let take_arrival = match (pending.map(|r| r.arrival), completion) {
             (None, None) => break,
@@ -143,7 +185,10 @@ pub fn run_drive_with_failures_traced<R: Recorder>(
         };
         if take_arrival {
             let r = pending.take().expect("arrival pending");
-            pending = source.next_request();
+            pending = {
+                let _sp = prof::scope(Phase::SourcePull);
+                source.next_request()
+            };
             failures.apply_due(&mut drive, r.arrival);
             end = end.max(r.arrival);
             if let Some(f) = drive.submit_traced(r, r.arrival, rec)? {
@@ -155,6 +200,7 @@ pub fn run_drive_with_failures_traced<R: Recorder>(
             let (done, next) = drive.complete_traced(c, rec)?;
             end = end.max(done.completed);
             completion = next;
+            obs.on_complete(drive.metrics());
         }
     }
     drive.finalize(end);
@@ -162,6 +208,7 @@ pub fn run_drive_with_failures_traced<R: Recorder>(
         power: drive.power_breakdown(),
         metrics: drive.metrics().clone(),
         duration: end.saturating_since(SimTime::ZERO),
+        queue_peak: drive.queue_peak(),
     })
 }
 
@@ -189,12 +236,15 @@ pub fn run_array_traced<R: Recorder>(
     workload: impl IntoRequestSource,
     rec: &mut R,
 ) -> Result<ArrayRunResult, DriveError> {
-    let mut source = workload.into_source();
+    let mut source = CountingSource::new(workload.into_source());
     let mut array = ArrayController::new(params, member, disks, layout);
     let mut events: EventQueue<usize> = EventQueue::with_capacity(64);
     let mut end = SimTime::ZERO;
     // One-request lookahead: the only workload state the loop holds.
-    let mut pending = source.next_request();
+    let mut pending = {
+        let _sp = prof::scope(Phase::SourcePull);
+        source.next_request()
+    };
     loop {
         let take_arrival = match (pending.map(|r| r.arrival), events.peek_time()) {
             (None, None) => break,
@@ -204,24 +254,38 @@ pub fn run_array_traced<R: Recorder>(
         };
         if take_arrival {
             let r = pending.take().expect("arrival pending");
-            pending = source.next_request();
+            pending = {
+                let _sp = prof::scope(Phase::SourcePull);
+                source.next_request()
+            };
             end = end.max(r.arrival);
             for (disk, t) in array.submit_traced(r, r.arrival, rec)? {
+                let _kp = prof::scope(Phase::KernelPush);
                 events.push(t, disk);
             }
         } else {
-            let ev = events.pop().expect("event pending");
+            let ev = {
+                let _kp = prof::scope(Phase::KernelPop);
+                events.pop().expect("event pending")
+            };
             end = end.max(ev.time);
             let out = array.on_disk_complete_traced(ev.payload, ev.time, rec)?;
             if let Some(t) = out.next_on_disk {
+                let _kp = prof::scope(Phase::KernelPush);
                 events.push(t, ev.payload);
             }
             for (disk, t) in out.started {
+                let _kp = prof::scope(Phase::KernelPush);
                 events.push(t, disk);
             }
         }
     }
     array.finalize(end);
+    let kernel = events.stats();
+    let member_queue_peak = (0..array.disk_count())
+        .map(|i| array.disk(i).queue_peak())
+        .max()
+        .unwrap_or(0);
     let m = array.metrics();
     Ok(ArrayRunResult {
         response_time_ms: m.response_time_ms.clone(),
@@ -229,6 +293,8 @@ pub fn run_array_traced<R: Recorder>(
         power: array.power_breakdown(),
         duration: end.saturating_since(SimTime::ZERO),
         completed: m.completed,
+        kernel,
+        member_queue_peak,
     })
 }
 

@@ -105,15 +105,30 @@ fn write_scenario(
     Ok(())
 }
 
+/// What a trace export produced: the files written (fixed order) and
+/// each scenario's ring-buffer drop count, so callers can surface
+/// truncation on stderr instead of leaving it buried in the analysis
+/// text.
+#[derive(Debug, Clone)]
+pub struct TraceExport {
+    /// File names written under the export directory, in a fixed order.
+    pub files: Vec<String>,
+    /// `(scenario, samples dropped)` per scenario, in replay order.
+    /// Zero means the ring held the whole run.
+    pub drops: Vec<(&'static str, u64)>,
+}
+
 /// Replays the trace scenarios and exports them under `dir` (created
-/// if missing). Returns the file names written, in a fixed order.
-pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportError> {
+/// if missing). Returns the file names written and per-scenario ring
+/// drop counts, in a fixed order.
+pub fn export_traces(dir: &Path, scale: Scale) -> Result<TraceExport, ExportError> {
     fs::create_dir_all(dir).map_err(|source| ExportError::Io {
         path: dir.to_path_buf(),
         action: "create",
         source,
     })?;
     let mut files = Vec::new();
+    let mut drops: Vec<(&'static str, u64)> = Vec::new();
     let params = hcsd_params();
     let powers = mode_powers(&params);
     let trace = scenario_trace(scale, TRACE_FOOTPRINT_SECTORS);
@@ -125,6 +140,7 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportErro
         run_drive_traced(&params, DriveConfig::sa(actuators), &trace, &mut rec)
             .map_err(|source| ExportError::Simulation { scenario: name, source })?;
         write_scenario(dir, name, &rec, &powers, &mut files)?;
+        drops.push((name, rec.dropped()));
     }
 
     // Figure 8's direction: an array built from intra-disk parallel
@@ -145,6 +161,7 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportErro
         )
         .map_err(|source| ExportError::Simulation { scenario: "array-raid5", source })?;
         write_scenario(dir, "array-raid5", &rec, &powers, &mut files)?;
+        drops.push(("array-raid5", rec.dropped()));
     }
 
     // The overlapped engine at its most concurrent: per-arm channels,
@@ -159,9 +176,10 @@ pub fn export_traces(dir: &Path, scale: Scale) -> Result<Vec<String>, ExportErro
             &mut rec,
         );
         write_scenario(dir, "overlap-multichannel", &rec, &powers, &mut files)?;
+        drops.push(("overlap-multichannel", rec.dropped()));
     }
 
-    Ok(files)
+    Ok(TraceExport { files, drops })
 }
 
 #[cfg(test)]
@@ -185,11 +203,15 @@ mod tests {
         let dir = std::env::temp_dir().join("telemetry-export-test");
         let _ = fs::remove_dir_all(&dir);
         let scale = Scale::quick().with_requests(200);
-        let files = export_traces(&dir, scale).expect("export succeeds");
-        assert_eq!(files.len(), 12, "4 scenarios x 3 files");
-        for f in &files {
+        let export = export_traces(&dir, scale).expect("export succeeds");
+        assert_eq!(export.files.len(), 12, "4 scenarios x 3 files");
+        for f in &export.files {
             let body = fs::read_to_string(dir.join(f)).expect("file exists");
             assert!(!body.is_empty(), "{f} is empty");
+        }
+        assert_eq!(export.drops.len(), 4, "one drop count per scenario");
+        for (name, dropped) in &export.drops {
+            assert_eq!(*dropped, 0, "{name} overflowed its ring at 200 requests");
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -3,18 +3,33 @@
 //! ```text
 //! repro [EXPERIMENT] [--jobs N] [--requests N] [--seed S]
 //!       [--stats exact|streaming] [--trace DIR] [--metrics DIR]
+//!       [--profile DIR]
 //! repro report DIR
 //! repro spc FILE [--actuators N] [--requests N]
 //! repro scale [--requests N] [--actuators N] [--inter-arrival MS]
 //!             [--stats exact|streaming] [--seed S]
+//!             [--heartbeat SECS] [--heartbeat-file PATH]
 //! repro explore [--grid coarse|adaptive|full] [--refine N]
 //!               [--latency mean|p90] [--out DIR] [--cache DIR|none]
 //!               [--jobs N] [--requests N] [--seed S]
 //!
-//! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 (alias: sa_eval) |
-//!             fig6 | fig7 | fig8 | table9 | fig9 | thermal | drpm |
+//! EXPERIMENT: table1 | fig2 (alias: limit) | fig3 | fig4 |
+//!             fig5 (alias: sa_eval) | fig6 | fig7 | fig8 | table9 |
+//!             fig9 | thermal | drpm |
 //!             all (default: all; `all` includes the extension studies)
 //! ```
+//!
+//! `--profile DIR` turns on the self-profiler for the run and writes
+//! four artifacts into DIR afterwards: `profile.txt` (host wall-clock
+//! phase table), `profile.folded` (collapsed stacks for flamegraph
+//! tools), `counters.json` (deterministic kernel counters; the
+//! `"deterministic"` section is byte-identical across runs, hosts, and
+//! `--jobs`), and `BENCH_profile.json` (phase profile in the repo's
+//! BENCH schema). `--heartbeat SECS` makes `repro scale` emit live
+//! `[hb ...]` snapshots (completed, req/s, ETA, streaming p90, peak
+//! RSS) to stderr every SECS seconds; `--heartbeat-file PATH`
+//! additionally rewrites a Prometheus textfile atomically on each
+//! beat.
 //!
 //! `--stats streaming` swaps the studies' exact sample stores for
 //! bounded-memory streaming accumulators; with it, request counts far
@@ -70,6 +85,9 @@ struct Args {
     trace_dir: Option<String>,
     metrics_dir: Option<String>,
     report_dir: Option<String>,
+    profile_dir: Option<String>,
+    heartbeat_secs: Option<f64>,
+    heartbeat_file: Option<String>,
     explore_grid: String,
     explore_refine: u32,
     explore_latency: String,
@@ -95,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_dir = None;
     let mut metrics_dir = None;
     let mut report_dir = None;
+    let mut profile_dir = None;
+    let mut heartbeat_secs = None;
+    let mut heartbeat_file = None;
     let mut explore_grid = "adaptive".to_string();
     let mut explore_refine = 2u32;
     let mut explore_latency = "p90".to_string();
@@ -108,6 +129,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => {
                 metrics_dir = Some(it.next().ok_or("--metrics needs a directory")?);
+            }
+            "--profile" => {
+                profile_dir = Some(it.next().ok_or("--profile needs a directory")?);
+            }
+            "--heartbeat" => {
+                let v = it
+                    .next()
+                    .ok_or("--heartbeat needs an interval in seconds")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --heartbeat: {e}"))?;
+                if !(v > 0.0) {
+                    return Err("--heartbeat must be positive".to_string());
+                }
+                heartbeat_secs = Some(v);
+            }
+            "--heartbeat-file" => {
+                heartbeat_file = Some(it.next().ok_or("--heartbeat-file needs a path")?);
             }
             "--actuators" => {
                 actuators = it
@@ -196,7 +234,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--stats exact|streaming] [--trace DIR] [--metrics DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]\n       repro scale [--requests N] [--actuators N] [--inter-arrival MS] [--stats exact|streaming] [--seed S]\n       repro explore [--grid coarse|adaptive|full] [--refine N] [--latency mean|p90] [--out DIR] [--cache DIR|none] [--jobs N] [--requests N] [--seed S]"
+                    "usage: repro [table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9|fig9|thermal|drpm|dash|validate|robust|all] [--jobs N] [--requests N] [--seed S] [--stats exact|streaming] [--trace DIR] [--metrics DIR] [--profile DIR]\n       repro report <metrics-dir>\n       repro spc <trace-file> [--actuators N] [--requests N]\n       repro scale [--requests N] [--actuators N] [--inter-arrival MS] [--stats exact|streaming] [--seed S] [--heartbeat SECS] [--heartbeat-file PATH]\n       repro explore [--grid coarse|adaptive|full] [--refine N] [--latency mean|p90] [--out DIR] [--cache DIR|none] [--jobs N] [--requests N] [--seed S]"
                         .to_string(),
                 );
             }
@@ -217,6 +255,10 @@ fn parse_args() -> Result<Args, String> {
     if experiment == "sa_eval" {
         experiment = "fig5".to_string();
     }
+    // Likewise `limit` names the limit study behind Figure 2.
+    if experiment == "limit" {
+        experiment = "fig2".to_string();
+    }
     Ok(Args {
         experiment,
         scale,
@@ -229,6 +271,9 @@ fn parse_args() -> Result<Args, String> {
         trace_dir,
         metrics_dir,
         report_dir,
+        profile_dir,
+        heartbeat_secs,
+        heartbeat_file,
         explore_grid,
         explore_refine,
         explore_latency,
@@ -341,8 +386,44 @@ fn run_spc(args: &Args) -> Result<(), String> {
             r.metrics.response_hist.cdf().at(20.0) * 100.0,
             r.power.total_w()
         );
+        eprintln!("[spc SA({n}): queue-peak {}]", r.queue_peak);
     }
     Ok(())
+}
+
+/// A [`RunObserver`](experiments::RunObserver) that drives live
+/// heartbeats from the run loop: every `CHECK_MASK + 1` completions it
+/// glances at the host clock and, if the interval elapsed, emits one
+/// snapshot line (and optionally rewrites the Prometheus textfile).
+/// The mask keeps the clock read off the per-request path.
+struct HeartbeatObserver {
+    hb: telemetry::prof::Heartbeat,
+    completed: u64,
+}
+
+impl HeartbeatObserver {
+    /// Check the clock every 1024 completions: ~millisecond-granular
+    /// at simulator throughput, invisible in the per-request cost.
+    const CHECK_MASK: u64 = 1023;
+
+    fn new(every_secs: f64, total: Option<u64>, file: Option<&std::path::Path>) -> Self {
+        HeartbeatObserver {
+            hb: telemetry::prof::Heartbeat::new(every_secs, total, file),
+            completed: 0,
+        }
+    }
+}
+
+impl experiments::RunObserver for HeartbeatObserver {
+    fn on_complete(&mut self, metrics: &intradisk::DriveMetrics) {
+        self.completed += 1;
+        if self.completed & Self::CHECK_MASK != 0 {
+            return;
+        }
+        self.hb.maybe_beat(self.completed, || {
+            metrics.response_time_ms.percentile_stream(90.0)
+        });
+    }
 }
 
 /// Peak resident set size (VmHWM) of this process in kB, from
@@ -366,11 +447,22 @@ fn run_scale(args: &Args) -> Result<(), String> {
         params.capacity_sectors(),
         args.scale.requests,
     );
-    let r = experiments::run_drive(
-        &params,
-        intradisk::DriveConfig::sa(args.actuators).with_stats_mode(args.scale.stats),
-        spec.source(args.scale.seed),
-    )
+    let config = intradisk::DriveConfig::sa(args.actuators).with_stats_mode(args.scale.stats);
+    let r = if let Some(every) = args.heartbeat_secs {
+        let file = args.heartbeat_file.as_deref().map(std::path::Path::new);
+        let mut obs =
+            HeartbeatObserver::new(every, Some(args.scale.requests as u64), file);
+        experiments::run_drive_observed(
+            &params,
+            config,
+            spec.source(args.scale.seed),
+            intradisk::failure::FailureSchedule::new(),
+            &mut telemetry::NullRecorder,
+            &mut obs,
+        )
+    } else {
+        experiments::run_drive(&params, config, spec.source(args.scale.seed))
+    }
     .map_err(|e| format!("scale run failed: {e}"))?;
     let stats = &r.metrics.response_time_ms;
     println!(
@@ -390,6 +482,7 @@ fn run_scale(args: &Args) -> Result<(), String> {
     if stats.is_exact() {
         println!("  p90(exact) {:.3} ms", stats.percentile(90.0));
     }
+    eprintln!("[queue-peak: {}]", r.queue_peak);
     if let Some(kb) = max_rss_kb() {
         eprintln!("[max-rss-kb: {kb}]");
     }
@@ -486,7 +579,36 @@ fn run_experiments(args: &Args, exec: &Executor) -> Result<(), StudyError> {
         })?;
         println!("{out}");
     }
+    // Kernel high-water marks accumulated across the studies above
+    // (event-queue traffic and the deepest any drive's pending queue
+    // got) — stderr, so stdout stays the byte-stable report.
+    eprintln!(
+        "[kernel: {} pushes / {} pops / peak-pending {} | disk-queue-peak {}]",
+        simkit::counters::WHEEL_PUSHES.get(),
+        simkit::counters::WHEEL_POPS.get(),
+        simkit::counters::WHEEL_PEAK_PENDING.get(),
+        intradisk::counters::QUEUE_PEAK_DEPTH.get()
+    );
     Ok(())
+}
+
+/// UTC calendar date (`YYYY-MM-DD`) from the system clock, via the
+/// days-to-civil conversion. Stamped into `BENCH_profile.json`.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 fn main() -> ExitCode {
@@ -498,8 +620,52 @@ fn main() -> ExitCode {
         }
     };
 
+    // With --profile, the whole dispatch runs under the profiler (and
+    // under a root `run` phase scope) and the artifacts are written
+    // after it returns.
+    let clock = if args.profile_dir.is_some() {
+        experiments::profile::reset_counters();
+        telemetry::prof::enable();
+        Some(telemetry::prof::Stopwatch::start())
+    } else {
+        None
+    };
+    let code = dispatch(&args);
+    if let (Some(dir), Some(clock)) = (args.profile_dir.as_deref(), clock) {
+        telemetry::prof::disable();
+        let report = telemetry::prof::ProfReport::take(clock.elapsed_ns());
+        eprintln!(
+            "[profile: {:.0} ms wall, {:.1}% attributed, {:.1} ms unattributed]",
+            report.wall_ns as f64 / 1e6,
+            report.coverage_pct(),
+            report.unattributed_ns() as f64 / 1e6
+        );
+        match experiments::profile::write_profile(
+            std::path::Path::new(dir),
+            &report,
+            args.jobs,
+            &today_utc(),
+            default_jobs(),
+        ) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("[profile: {}]", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("profile export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn dispatch(args: &Args) -> ExitCode {
+    let _run = telemetry::prof::scope(telemetry::prof::Phase::Run);
+
     if args.experiment == "scale" {
-        return match run_scale(&args) {
+        return match run_scale(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -509,7 +675,7 @@ fn main() -> ExitCode {
     }
 
     if args.experiment == "spc" {
-        return match run_spc(&args) {
+        return match run_spc(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -536,7 +702,7 @@ fn main() -> ExitCode {
     }
 
     if args.experiment == "explore" {
-        return match run_explore(&args) {
+        return match run_explore(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -546,7 +712,7 @@ fn main() -> ExitCode {
     }
 
     let exec = Executor::new(args.jobs).with_progress();
-    if let Err(e) = run_experiments(&args, &exec) {
+    if let Err(e) = run_experiments(args, &exec) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -555,12 +721,20 @@ fn main() -> ExitCode {
     // their file lists go to stderr: stdout stays byte-identical
     // whether or not (and with whatever --jobs) they are enabled.
     if let Some(dir) = args.trace_dir.as_deref() {
+        let _exp = telemetry::prof::scope(telemetry::prof::Phase::ExportTrace);
         let dir = std::path::Path::new(dir);
         match experiments::tracing::export_traces(dir, args.scale) {
-            Ok(files) => {
-                for f in files {
+            Ok(export) => {
+                for f in &export.files {
                     eprintln!("[trace: {}]", dir.join(f).display());
                 }
+                let drops = export
+                    .drops
+                    .iter()
+                    .map(|(name, n)| format!("{name} {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                eprintln!("[trace-drops: {drops}]");
             }
             Err(e) => {
                 eprintln!("trace export failed: {e}");
@@ -569,6 +743,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(dir) = args.metrics_dir.as_deref() {
+        let _exp = telemetry::prof::scope(telemetry::prof::Phase::ExportMetrics);
         let dir = std::path::Path::new(dir);
         match experiments::metrics_export::export_metrics(dir, args.scale) {
             Ok(files) => {

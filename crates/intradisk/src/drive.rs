@@ -149,6 +149,9 @@ pub struct DiskDrive {
     metrics: DriveMetrics,
     capacity: u64,
     overhead: SimDuration,
+    /// Deterministic dispatch/cost/cache counters, flushed to the
+    /// global registry when the drive drops (clones start at zero).
+    prof: crate::counters::DriveProfCounts,
 }
 
 impl DiskDrive {
@@ -170,6 +173,7 @@ impl DiskDrive {
             mech,
             capacity,
             overhead: params.controller_overhead(),
+            prof: crate::counters::DriveProfCounts::new(),
         }
     }
 
@@ -197,6 +201,11 @@ impl DiskDrive {
     /// service).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Deepest the pending queue has been over the drive's lifetime.
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// True if no request is in service or queued.
@@ -326,7 +335,10 @@ impl DiskDrive {
         if let Some((lba, sectors)) = srv.install {
             self.cache.install(lba, sectors);
         }
-        self.metrics.record(&srv.done);
+        {
+            let _prof = telemetry::prof::scope(telemetry::prof::Phase::StatsRecord);
+            self.metrics.record(&srv.done);
+        }
         if R::ENABLED {
             rec.record(now, TraceEvent::Complete { req: srv.done.request.id });
         }
@@ -354,6 +366,8 @@ impl DiskDrive {
         now: SimTime,
         rec: &mut R,
     ) -> Result<Option<SimTime>, DriveError> {
+        let _scan_prof = telemetry::prof::scope(telemetry::prof::Phase::DispatchScan);
+        self.prof.scans.bump();
         let policy = self.config.policy;
         let scaling = self.config.scaling;
         // Borrow pieces separately for the cost closure.
@@ -361,11 +375,14 @@ impl DiskDrive {
         let arms = &self.arms;
         let capacity = self.capacity;
         let heads = self.config.heads_per_arm;
+        let prof = &self.prof;
         // Positioning starts after the controller overhead; estimating
         // from `now` would systematically pick sectors that have just
         // passed the head by the time the seek is issued.
         let start = now + self.overhead;
         let cost = |r: &IoRequest| -> SimDuration {
+            let _cost_prof = telemetry::prof::scope(telemetry::prof::Phase::CostModel);
+            prof.candidates.bump();
             let lba = if r.lba >= capacity { r.lba % capacity } else { r.lba };
             match policy {
                 QueuePolicy::Fcfs => SimDuration::ZERO,
@@ -376,6 +393,7 @@ impl DiskDrive {
                         if arms.is_failed(i) {
                             continue;
                         }
+                        prof.arm_visits.bump();
                         let d = arms.cylinder(i).abs_diff(loc.cylinder);
                         if dist.is_none_or(|best| d < best) {
                             dist = Some(d);
@@ -389,6 +407,8 @@ impl DiskDrive {
                         if arms.is_failed(i) {
                             continue;
                         }
+                        prof.arm_visits.bump();
+                        prof.positioning_evals.bump();
                         let (s, r2) = mech.positioning_at(
                             arms.cylinder(i),
                             arms.azimuth(i),
@@ -397,6 +417,7 @@ impl DiskDrive {
                             start,
                             scaling,
                         );
+                        prof.sptf_compares.bump();
                         if best.is_none_or(|b| s + r2 < b) {
                             best = Some(s + r2);
                         }
@@ -431,6 +452,7 @@ impl DiskDrive {
 
         // Cache check (reads only; writes are written through).
         if req.kind.is_read() && self.cache.lookup(req.lba, req.sectors) {
+            self.prof.cache_hits.bump();
             let bus = SimDuration::from_millis(
                 req.sectors as f64 * diskmodel::params::SECTOR_BYTES as f64
                     / CACHE_HIT_BUS_BYTES_PER_MS,
@@ -478,16 +500,22 @@ impl DiskDrive {
 
         if req.kind == IoKind::Write {
             self.cache.invalidate(req.lba, req.sectors);
+        } else {
+            self.prof.cache_misses.bump();
         }
 
-        let plan = self.mech.plan_set_with_heads(
-            &self.arms,
-            self.config.heads_per_arm,
-            req.lba,
-            req.sectors,
-            now + overhead,
-            self.config.scaling,
-        )?;
+        self.prof.plan_evals.bump();
+        let plan = {
+            let _plan_prof = telemetry::prof::scope(telemetry::prof::Phase::CostModel);
+            self.mech.plan_set_with_heads(
+                &self.arms,
+                self.config.heads_per_arm,
+                req.lba,
+                req.sectors,
+                now + overhead,
+                self.config.scaling,
+            )?
+        };
         let finish = now + overhead + plan.total();
 
         if R::ENABLED {
@@ -605,6 +633,15 @@ impl DiskDrive {
     /// Average-power breakdown over the accounted time.
     pub fn power_breakdown(&self) -> PowerBreakdown {
         PowerBreakdown::from_modes(&self.metrics.modes, &self.power)
+    }
+}
+
+/// On drop, the drive publishes its queue high-water mark to the
+/// deterministic counter registry (a max, so clones re-flushing is
+/// idempotent); its `DriveProfCounts` batchers flush themselves.
+impl Drop for DiskDrive {
+    fn drop(&mut self) {
+        crate::counters::QUEUE_PEAK_DEPTH.record_max(self.queue.peak_len() as u64);
     }
 }
 

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod cache;
+pub mod counters;
 pub mod dash;
 pub mod drive;
 pub mod drpm;

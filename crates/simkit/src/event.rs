@@ -296,6 +296,10 @@ struct Level<E> {
     /// [`first_occupied`](Self::first_occupied) callable from the
     /// non-mutating peek path.
     scan_from: Cell<usize>,
+    /// Bitmap words examined by [`first_occupied`](Self::first_occupied)
+    /// over this level's lifetime; flushed to
+    /// [`counters::WHEEL_SLOT_SCAN_WORDS`] when the owning queue drops.
+    scan_words: Cell<u64>,
 }
 
 impl<E> Level<E> {
@@ -304,6 +308,7 @@ impl<E> Level<E> {
             slots: (0..SLOTS).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
             scan_from: Cell::new(0),
+            scan_words: Cell::new(0),
         }
     }
 
@@ -322,14 +327,19 @@ impl<E> Level<E> {
     /// drained slots are cleared, so a plain forward scan (no
     /// wrap-around) is sufficient.
     fn first_occupied(&self) -> Option<usize> {
-        for w in self.scan_from.get()..WORDS {
+        let start = self.scan_from.get();
+        for w in start..WORDS {
             let bits = self.occupied[w];
             if bits != 0 {
                 self.scan_from.set(w);
+                self.scan_words
+                    .set(self.scan_words.get() + (w - start + 1) as u64);
                 return Some((w << 6) + bits.trailing_zeros() as usize);
             }
         }
         self.scan_from.set(WORDS);
+        self.scan_words
+            .set(self.scan_words.get() + (WORDS - start) as u64);
         None
     }
 }
@@ -392,6 +402,9 @@ pub struct WheelEventQueue<E> {
     next_seq: u64,
     last_popped: SimTime,
     stats: QueueStats,
+    /// Pushes that landed in the overflow calendar; flushed to
+    /// [`counters::WHEEL_OVERFLOW_HITS`] on drop.
+    overflow_hits: u64,
 }
 
 impl<E> Default for WheelEventQueue<E> {
@@ -415,6 +428,7 @@ impl<E> WheelEventQueue<E> {
             next_seq: 0,
             last_popped: SimTime::ZERO,
             stats: QueueStats::default(),
+            overflow_hits: 0,
         }
     }
 
@@ -480,6 +494,7 @@ impl<E> WheelEventQueue<E> {
             self.levels[2].slots[idx].push(entry);
             self.levels[2].set(idx);
         } else {
+            self.overflow_hits += 1;
             // simlint: allow(no-alloc-in-hot-path) — overflow holds
             // events beyond the 2^18-granule horizon; reaching it is
             // rare by construction, not a per-event cost.
@@ -679,6 +694,21 @@ fn slot_min_time<E>(slot: &[WheelEntry<E>]) -> SimTime {
         }
     }
     best_time
+}
+
+/// On drop, the wheel publishes its lifetime traffic to the global
+/// deterministic counter registry ([`crate::counters`]). Flushing once
+/// per queue lifetime (instead of per event) keeps the hot push/pop
+/// paths free of shared-cache-line atomics.
+impl<E> Drop for WheelEventQueue<E> {
+    fn drop(&mut self) {
+        crate::counters::WHEEL_PUSHES.add(self.stats.pushes);
+        crate::counters::WHEEL_POPS.add(self.stats.pops);
+        crate::counters::WHEEL_PEAK_PENDING.record_max(self.stats.peak_pending as u64);
+        crate::counters::WHEEL_OVERFLOW_HITS.add(self.overflow_hits);
+        let scans = self.levels.iter().map(|l| l.scan_words.get()).sum();
+        crate::counters::WHEEL_SLOT_SCAN_WORDS.add(scans);
+    }
 }
 
 impl<E> Calendar<E> for WheelEventQueue<E> {

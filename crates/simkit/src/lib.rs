@@ -22,6 +22,10 @@
 //! * [`stats`] — bucketed histograms (the paper reports CDFs/PDFs over
 //!   fixed bucket edges), streaming summaries, percentile extraction,
 //!   and time-weighted mode accounting used for power attribution.
+//! * [`counters`] — deterministic kernel counters: named monotonic
+//!   totals of simulated work (wheel traffic, slab churn, histogram
+//!   records) batched per instance and flushed on drop, exported by
+//!   the experiment harness as byte-stable JSON.
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@
 //! assert_eq!(q.pop().map(|e| e.payload), Some("b"));
 //! ```
 
+pub mod counters;
 pub mod dist;
 pub mod event;
 pub mod pool;
@@ -42,6 +47,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use counters::{Counter, DropCounter};
 pub use dist::{Bernoulli, Exponential, LogNormal, Pareto, Sample, UniformRange, Zipf};
 pub use event::{
     Calendar, EventQueue, HeapEventQueue, QueueStats, ScheduledEvent, WheelEventQueue,

@@ -80,6 +80,11 @@ pub struct Slab<T> {
     generations: Vec<u32>,
     free_head: u32,
     len: usize,
+    /// Lifetime insert/remove traffic and peak free-list depth, flushed
+    /// to the [`crate::counters`] registry when the slab drops.
+    inserts: u64,
+    removes: u64,
+    free_peak: u64,
 }
 
 const FREE_END: u32 = u32::MAX;
@@ -98,6 +103,9 @@ impl<T> Slab<T> {
             generations: Vec::new(),
             free_head: FREE_END,
             len: 0,
+            inserts: 0,
+            removes: 0,
+            free_peak: 0,
         }
     }
 
@@ -109,6 +117,9 @@ impl<T> Slab<T> {
             generations: Vec::with_capacity(cap),
             free_head: FREE_END,
             len: 0,
+            inserts: 0,
+            removes: 0,
+            free_peak: 0,
         }
     }
 
@@ -134,6 +145,7 @@ impl<T> Slab<T> {
     // submitted request.
     pub fn insert(&mut self, value: T) -> SlotId {
         self.len += 1;
+        self.inserts += 1;
         if self.free_head != FREE_END {
             let index = self.free_head;
             let slot = &mut self.slots[index as usize];
@@ -198,7 +210,22 @@ impl<T> Slab<T> {
         self.free_head = id.index;
         self.generations[idx] = self.generations[idx].wrapping_add(1);
         self.len -= 1;
+        self.removes += 1;
+        // Free depth only grows on remove, so this is the one place the
+        // high-water mark can move.
+        self.free_peak = self.free_peak.max((self.slots.len() - self.len) as u64);
         Some(value)
+    }
+}
+
+/// On drop, the slab publishes its lifetime churn to the global
+/// deterministic counter registry — one flush per slab, keeping
+/// insert/remove free of shared atomics.
+impl<T> Drop for Slab<T> {
+    fn drop(&mut self) {
+        crate::counters::SLAB_INSERTS.add(self.inserts);
+        crate::counters::SLAB_REMOVES.add(self.removes);
+        crate::counters::SLAB_FREE_PEAK.record_max(self.free_peak);
     }
 }
 

@@ -17,6 +17,11 @@ pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,
     total: u64,
+    /// Deterministic record counter, flushed to
+    /// [`crate::counters::HIST_RECORDS`] on drop. `DropCounter` clones
+    /// to zero and always compares equal, so the derived `Clone` /
+    /// `PartialEq` semantics of the histogram itself are unchanged.
+    records: crate::counters::DropCounter,
 }
 
 impl Histogram {
@@ -34,6 +39,7 @@ impl Histogram {
             edges: edges.to_vec(),
             counts: vec![0; edges.len() + 1],
             total: 0,
+            records: crate::counters::DropCounter::new(&crate::counters::HIST_RECORDS),
         }
     }
 
@@ -53,6 +59,7 @@ impl Histogram {
         let idx = self.edges.partition_point(|&e| e < value);
         self.counts[idx] += 1;
         self.total += 1;
+        self.records.bump();
     }
 
     /// Bucket edges.

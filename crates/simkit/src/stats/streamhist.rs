@@ -70,6 +70,11 @@ pub struct StreamingHistogram {
     /// ~`ln 2 / ln(growth)` edges — instead of the whole edge array.
     /// Derived from `edges`, so equal configurations compare equal.
     exp_index: Vec<u32>,
+    /// Deterministic record counter, flushed to
+    /// [`crate::counters::STREAMHIST_RECORDS`] on drop. Clones to zero
+    /// and always compares equal, so the derived `Clone` / `PartialEq`
+    /// semantics (and the `to_bytes` round trip) are unchanged.
+    records: crate::counters::DropCounter,
 }
 
 impl StreamingHistogram {
@@ -135,6 +140,7 @@ impl StreamingHistogram {
             rel_err,
             growth,
             exp_index,
+            records: crate::counters::DropCounter::new(&crate::counters::STREAMHIST_RECORDS),
         }
     }
 
@@ -184,6 +190,7 @@ impl StreamingHistogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.records.bump();
     }
 
     /// Number of samples recorded.

@@ -11,9 +11,13 @@
 //! Four guarantees shape the design:
 //!
 //! 1. **Virtual time only.** Every event is stamped with [`SimTime`];
-//!    the crate never reads a wall clock, so a trace is part of the
-//!    simulator's determinism contract: byte-identical across runs,
-//!    hosts, and `--jobs` values.
+//!    the trace plane never reads a wall clock, so a trace is part of
+//!    the simulator's determinism contract: byte-identical across runs,
+//!    hosts, and `--jobs` values. The one documented exception is
+//!    [`prof`], the host-time *self*-profiling plane: it reads the
+//!    host clock to attribute the simulator's own execution time, and
+//!    its measurements flow only outward (stderr, profile files) —
+//!    never into sim state or results.
 //! 2. **Near-zero cost when off.** Instrumented code is generic over
 //!    [`Recorder`] and gates event construction on the associated
 //!    constant `R::ENABLED`. With [`NullRecorder`] the branch is
@@ -45,6 +49,7 @@ pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod schema;
 

@@ -27,6 +27,7 @@
 //!   ([`spc::SpcSource`]).
 
 pub mod arrival;
+pub mod counters;
 pub mod profiles;
 pub mod source;
 pub mod spc;
@@ -35,7 +36,7 @@ pub mod trace;
 
 pub use arrival::{ArrivalProcess, Mmpp};
 pub use profiles::{profile_for, ProfileSource, TraceProfile, WorkloadKind};
-pub use source::{collect_trace, IntoRequestSource, RequestSource, TraceSource};
+pub use source::{collect_trace, CountingSource, IntoRequestSource, RequestSource, TraceSource};
 pub use spc::SpcSource;
 pub use synth::{SynthSource, SyntheticSpec};
 pub use trace::{Trace, TraceStats};

@@ -118,6 +118,56 @@ impl<'a> IntoRequestSource for &'a Trace {
     }
 }
 
+/// A transparent wrapper that counts every request pulled through it,
+/// batching into a [`DropCounter`](simkit::counters::DropCounter) that
+/// flushes to [`crate::counters::REQUESTS_PULLED`] when the source
+/// drops. Run loops wrap their sources in this so ingestion volume
+/// shows up in the deterministic counter export.
+#[derive(Debug, Clone)]
+pub struct CountingSource<S> {
+    inner: S,
+    pulled: simkit::counters::DropCounter,
+}
+
+impl<S: RequestSource> CountingSource<S> {
+    /// Wraps `inner`, counting pulls (skips count too: a skipped
+    /// request was still ingested).
+    pub fn new(inner: S) -> Self {
+        CountingSource {
+            inner,
+            pulled: simkit::counters::DropCounter::new(&crate::counters::REQUESTS_PULLED),
+        }
+    }
+}
+
+impl<S: RequestSource> RequestSource for CountingSource<S> {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let r = self.inner.next_request();
+        if r.is_some() {
+            self.pulled.bump();
+        }
+        r
+    }
+
+    fn footprint_sectors(&self) -> u64 {
+        self.inner.footprint_sectors()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let skipped = self.inner.skip(n);
+        self.pulled.add(skipped);
+        skipped
+    }
+}
+
 /// A cursor over a materialized [`Trace`] (backward compatibility:
 /// traces are already sorted by arrival).
 #[derive(Debug, Clone)]

@@ -22,7 +22,12 @@
 # the goldens pinned on the retired binary-heap kernel, the named
 # kernel-swap golden oracles, the differential property suite, and a
 # throughput floor: the timing wheel must not be slower than the
-# heap), and then the test suite again with ignored tests included.
+# heap), the self-profiler gates (the deterministic counter export must
+# be byte-identical across runs and --jobs values, a --profile smoke
+# run must attribute >= 95% of wall time to phases, and a 10^6-request
+# `repro scale --heartbeat 1` must emit live snapshots plus a
+# Prometheus textfile), and then the test suite again with ignored
+# tests included.
 # Everything is offline: the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
@@ -138,6 +143,36 @@ wheel_min=$(printf '%s\n' "$kernel_json" | jq -s '.[] | select(.bench == "kernel
 echo "    heap min ${heap_min} ns, wheel min ${wheel_min} ns"
 jq -n --argjson h "$heap_min" --argjson w "$wheel_min" \
   'if $w <= $h then empty else error("timing wheel slower than retired heap") end'
+
+echo "==> gate: self-profile counter export byte-identical across runs and --jobs"
+# Two serial runs must produce byte-identical counters.json; a --jobs 2
+# run must match on the "deterministic" section (the "host" section —
+# worker count, steals — legitimately varies and is quarantined there).
+target/release/repro limit --requests 2000 --jobs 1 --profile "$sweep_dir/prof1" >/dev/null 2>&1
+target/release/repro limit --requests 2000 --jobs 1 --profile "$sweep_dir/prof2" >/dev/null 2>&1
+target/release/repro limit --requests 2000 --jobs 2 --profile "$sweep_dir/prof3" >/dev/null 2>&1
+cmp "$sweep_dir/prof1/counters.json" "$sweep_dir/prof2/counters.json"
+diff <(jq -S .deterministic "$sweep_dir/prof1/counters.json") \
+     <(jq -S .deterministic "$sweep_dir/prof3/counters.json")
+
+echo "==> gate: --profile smoke export (phase coverage >= 95% at --jobs 1)"
+for f in profile.txt profile.folded counters.json BENCH_profile.json; do
+  test -s "$sweep_dir/prof1/$f" \
+    || { echo "missing or empty profile artifact $f" >&2; exit 1; }
+done
+coverage=$(jq '.results[0].coverage_pct' "$sweep_dir/prof1/BENCH_profile.json")
+echo "    phase coverage ${coverage}%"
+jq -n --argjson c "$coverage" \
+  'if $c >= 95 then empty else error("phase profiler attributed < 95% of wall time") end'
+
+echo "==> gate: scale --heartbeat emits live snapshots and a Prometheus textfile"
+target/release/repro scale --requests 1000000 --stats streaming --heartbeat 1 \
+  --heartbeat-file "$sweep_dir/hb.prom" > "$sweep_dir/hb.out" 2> "$sweep_dir/hb.err"
+grep -q "completed 1000000" "$sweep_dir/hb.out"
+grep -q "^\[hb " "$sweep_dir/hb.err" \
+  || { echo "no heartbeat lines on stderr" >&2; exit 1; }
+grep -q "^repro_heartbeats_total " "$sweep_dir/hb.prom" \
+  || { echo "heartbeat textfile missing repro_heartbeats_total" >&2; exit 1; }
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
